@@ -1,0 +1,361 @@
+// Package armada is a delay-bounded range-query system for DHT-based
+// peer-to-peer networks, reproducing "Delay-Bounded Range Queries in
+// DHT-based Peer-to-Peer Systems" (Li, Cao, Lu, Chan, Wang, Su, Leong,
+// Chan — ICDCS 2006).
+//
+// Armada layers order-preserving object naming and pruned search over
+// FISSIONE, a constant-degree DHT built on the Kautz graph K(2,k). Any
+// range query — over one attribute (PIRA) or several (MIRA) — reaches every
+// matching peer within 2·log₂N hops in an N-peer network, under log₂N on
+// average, regardless of the size of the query or of the attribute space.
+//
+// The package simulates the whole system in process: a Network is a full
+// FISSIONE overlay whose peers own namespace regions, keep local routing
+// tables, and exchange messages hop by hop (optionally on one goroutine per
+// peer). Query results carry the paper's cost metrics — hop delay, message
+// count and destination-peer count.
+//
+//	net, err := armada.NewNetwork(2000)
+//	...
+//	err = net.Publish("alice", 83.5)
+//	res, err := net.RangeQuery(70, 80)
+//	fmt.Println(res.Stats.Delay, res.Stats.Messages, len(res.Objects))
+package armada
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"armada/internal/core"
+	"armada/internal/fissione"
+	"armada/internal/kautz"
+	"armada/internal/naming"
+)
+
+// Errors returned by Network operations.
+var (
+	ErrBadArity   = errors.New("armada: value count must match the configured attributes")
+	ErrNoSuchPeer = errors.New("armada: no such peer")
+	ErrTooSmall   = errors.New("armada: network cannot shrink below 3 peers")
+)
+
+// Network is a simulated FISSIONE overlay with Armada query processing.
+//
+// Mutating operations (Join, Leave, Publish) and queries are safe for
+// concurrent use; mutations take a write lock, queries a read lock.
+type Network struct {
+	mu   sync.RWMutex
+	net  *fissione.Network
+	tree *naming.Tree
+	eng  *core.Engine
+	rng  *rand.Rand
+}
+
+// NewNetwork builds a network of the given number of peers (at least 3).
+func NewNetwork(peers int, opts ...Option) (*Network, error) {
+	cfg, err := buildConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	if peers < 3 {
+		return nil, fmt.Errorf("%w: requested %d", ErrTooSmall, peers)
+	}
+	var net *fissione.Network
+	if cfg.balanced {
+		net, err = fissione.BuildBalanced(cfg.k, peers, cfg.seed)
+	} else {
+		net, err = fissione.BuildRandom(cfg.k, peers, cfg.seed)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("armada: build network: %w", err)
+	}
+	spaces := make([]naming.Space, len(cfg.attrs))
+	for i, a := range cfg.attrs {
+		spaces[i] = naming.Space{Low: a.Low, High: a.High}
+	}
+	tree, err := naming.NewTree(cfg.k, spaces...)
+	if err != nil {
+		return nil, fmt.Errorf("armada: naming tree: %w", err)
+	}
+	eng, err := core.New(net, tree)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.async {
+		eng.SetMode(core.Async)
+	}
+	return &Network{
+		net:  net,
+		tree: tree,
+		eng:  eng,
+		rng:  rand.New(rand.NewSource(cfg.seed + 1)),
+	}, nil
+}
+
+// Size returns the number of peers.
+func (n *Network) Size() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.net.Size()
+}
+
+// Attributes returns the number of configured attributes.
+func (n *Network) Attributes() int { return n.tree.Attrs() }
+
+// PeerIDs returns every peer identifier (a Kautz string) in ascending
+// order.
+func (n *Network) PeerIDs() []string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	ids := n.net.PeerIDs()
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = string(id)
+	}
+	return out
+}
+
+// RandomPeer returns a uniformly random peer identifier.
+func (n *Network) RandomPeer() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return string(n.net.RandomPeer(n.rng))
+}
+
+// Join adds one peer via FISSIONE's join protocol and returns its
+// identifier.
+func (n *Network) Join() (string, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	id, err := n.net.Join()
+	return string(id), err
+}
+
+// Leave removes the identified peer gracefully, handing its region and
+// objects to the remaining peers.
+func (n *Network) Leave(peerID string) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return wrapFissioneErr(n.net.Leave(kautz.Str(peerID)), peerID)
+}
+
+// Fail simulates a crash-stop of the identified peer: its stored objects
+// are lost (Armada does not replicate data), and the survivors'
+// self-stabilization restores the namespace cover and all invariants before
+// Fail returns.
+func (n *Network) Fail(peerID string) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return wrapFissioneErr(n.net.FailAbrupt(kautz.Str(peerID)), peerID)
+}
+
+func wrapFissioneErr(err error, peerID string) error {
+	switch {
+	case errors.Is(err, fissione.ErrNoSuchPeer):
+		return fmt.Errorf("%w: %q", ErrNoSuchPeer, peerID)
+	case errors.Is(err, fissione.ErrTooSmall):
+		return ErrTooSmall
+	}
+	return err
+}
+
+// Publish stores an object named name with the given attribute values (one
+// per configured attribute). The object is placed on the peer owning its
+// order-preserving ObjectID and becomes discoverable by range queries.
+func (n *Network) Publish(name string, values ...float64) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(values) != n.tree.Attrs() {
+		return fmt.Errorf("%w: got %d values, want %d", ErrBadArity, len(values), n.tree.Attrs())
+	}
+	oid, err := n.tree.Hash(values...)
+	if err != nil {
+		return fmt.Errorf("armada: publish %q: %w", name, err)
+	}
+	_, err = n.net.PublishAt(oid, fissione.Object{Name: name, Values: append([]float64(nil), values...)})
+	return err
+}
+
+// PublishExact stores a value-less object under Kautz_hash(name) for
+// exact-match lookup only.
+func (n *Network) PublishExact(name string) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	oid := kautz.Hash(name, n.net.K())
+	_, err := n.net.PublishAt(oid, fissione.Object{Name: name})
+	return err
+}
+
+// Lookup routes an exact-match query for name from a random peer and
+// returns the owning peer, any objects published under the name's
+// ObjectID, and the routing cost.
+func (n *Network) Lookup(name string) (*LookupResult, error) {
+	return n.LookupFrom(n.RandomPeer(), name)
+}
+
+// LookupFrom is Lookup issued by a specific peer.
+func (n *Network) LookupFrom(issuer, name string) (*LookupResult, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	oid := kautz.Hash(name, n.net.K())
+	res, err := n.eng.Lookup(kautz.Str(issuer), oid)
+	if err != nil {
+		return nil, wrapCoreErr(err)
+	}
+	out := &LookupResult{Owner: string(res.Owner), Stats: statsOf(res.Stats)}
+	for _, o := range res.Objects {
+		out.Objects = append(out.Objects, Object{Name: o.Name, Values: o.Values, Peer: string(res.Owner)})
+	}
+	return out, nil
+}
+
+// RangeQuery executes a single-attribute range query [low, high] from a
+// random issuer. The network must be configured with exactly one attribute.
+func (n *Network) RangeQuery(low, high float64) (*Result, error) {
+	return n.RangeQueryFrom(n.RandomPeer(), Range{Low: low, High: high})
+}
+
+// MultiRangeQuery executes a multi-attribute range query from a random
+// issuer, one Range per configured attribute.
+func (n *Network) MultiRangeQuery(ranges ...Range) (*Result, error) {
+	return n.RangeQueryFrom(n.RandomPeer(), ranges...)
+}
+
+// RangeQueryFrom executes a range query issued by a specific peer, one
+// Range per configured attribute. Single-attribute queries run PIRA;
+// multi-attribute queries run MIRA.
+func (n *Network) RangeQueryFrom(issuer string, ranges ...Range) (*Result, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	lo, hi, err := n.bounds(ranges)
+	if err != nil {
+		return nil, err
+	}
+	res, err := n.eng.RangeQuery(kautz.Str(issuer), lo, hi)
+	if err != nil {
+		return nil, wrapCoreErr(err)
+	}
+	return resultOf(res), nil
+}
+
+// Hop is one observed overlay message of a traced query.
+type Hop struct {
+	// From is the peer that processed the message; To is the forward's
+	// target. A delivery (the query reaching a destination peer) has
+	// To == From and Remaining == 0.
+	From, To string
+	// Depth is the hop count from the issuer; Remaining is the number of
+	// hops left to the destination level of the forward routing tree.
+	Depth, Remaining int
+}
+
+// TraceQuery executes a range query like RangeQueryFrom while recording
+// every overlay message, returning the result together with the hops in
+// processing order. It is intended for inspection and debugging.
+func (n *Network) TraceQuery(issuer string, ranges ...Range) (*Result, []Hop, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	lo, hi, err := n.bounds(ranges)
+	if err != nil {
+		return nil, nil, err
+	}
+	var (
+		hopMu sync.Mutex // the engine may run the trace hook concurrently in async mode
+		hops  []Hop
+	)
+	n.eng.SetTrace(func(from, to kautz.Str, depth, remaining int) {
+		hopMu.Lock()
+		defer hopMu.Unlock()
+		hops = append(hops, Hop{From: string(from), To: string(to), Depth: depth, Remaining: remaining})
+	})
+	defer n.eng.SetTrace(nil)
+	res, err := n.eng.RangeQuery(kautz.Str(issuer), lo, hi)
+	if err != nil {
+		return nil, nil, wrapCoreErr(err)
+	}
+	return resultOf(res), hops, nil
+}
+
+// TopK returns up to k objects with the largest first-attribute values
+// within the ranges, from a random issuer — the paper's future-work query
+// type, built on the same bounded-delay descent.
+func (n *Network) TopK(k int, ranges ...Range) (*Result, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	lo, hi, err := n.bounds(ranges)
+	if err != nil {
+		return nil, err
+	}
+	issuer := n.net.RandomPeer(nil)
+	res, err := n.eng.TopK(issuer, lo, hi, k)
+	if err != nil {
+		return nil, wrapCoreErr(err)
+	}
+	out := &Result{Stats: statsOf(res.Stats)}
+	for _, m := range res.Matches {
+		out.Objects = append(out.Objects, Object{
+			Name: m.Name, Values: m.Values, ID: string(m.ObjectID), Peer: string(m.Peer),
+		})
+	}
+	return out, nil
+}
+
+// bounds converts ranges to per-attribute bound slices.
+func (n *Network) bounds(ranges []Range) (lo, hi []float64, err error) {
+	if len(ranges) != n.tree.Attrs() {
+		return nil, nil, fmt.Errorf("%w: got %d ranges, want %d", ErrBadArity, len(ranges), n.tree.Attrs())
+	}
+	lo = make([]float64, len(ranges))
+	hi = make([]float64, len(ranges))
+	for i, r := range ranges {
+		if r.Low > r.High {
+			return nil, nil, fmt.Errorf("armada: range %d: low %v above high %v", i, r.Low, r.High)
+		}
+		lo[i], hi[i] = r.Low, r.High
+	}
+	return lo, hi, nil
+}
+
+// Topology summarizes the overlay's structure.
+type Topology struct {
+	Peers        int
+	AvgDegree    float64
+	AvgOutDegree float64
+	MinIDLength  int
+	MaxIDLength  int
+	AvgIDLength  float64
+}
+
+// Topology returns structural statistics of the overlay.
+func (n *Network) Topology() Topology {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	l := n.net.IDLengths()
+	return Topology{
+		Peers:        n.net.Size(),
+		AvgDegree:    n.net.AvgDegree(),
+		AvgOutDegree: n.net.AvgOutDegree(),
+		MinIDLength:  l.Min,
+		MaxIDLength:  l.Max,
+		AvgIDLength:  l.Avg,
+	}
+}
+
+// Audit verifies every structural invariant of the overlay: the prefix-free
+// namespace cover, the neighborhood invariant and routing-table
+// consistency.
+func (n *Network) Audit() error {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.net.Audit()
+}
+
+// wrapCoreErr maps engine errors onto the package's exported errors.
+func wrapCoreErr(err error) error {
+	if errors.Is(err, core.ErrNoSuchPeer) {
+		return fmt.Errorf("%w: %v", ErrNoSuchPeer, err)
+	}
+	return err
+}

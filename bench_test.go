@@ -1,0 +1,418 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation.
+// Each benchmark executes the corresponding experiment's workload and
+// reports the paper's metrics (hops/query, msgs/query, destpeers/query) via
+// b.ReportMetric, so `go test -bench=. -benchmem` reproduces the evaluation
+// series. The armada-bench command produces the full-resolution data.
+package armada_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"armada"
+	"armada/internal/can"
+	"armada/internal/core"
+	"armada/internal/dcfcan"
+	"armada/internal/experiments"
+	"armada/internal/fissione"
+	"armada/internal/kautz"
+	"armada/internal/naming"
+	"armada/internal/pht"
+	"armada/internal/skipgraph"
+)
+
+const (
+	benchK     = 32
+	benchSpace = 1000.0
+)
+
+// benchFig5Net is the paper's Figure 5/6 network size.
+const benchFig5Net = 2000
+
+// buildPIRA builds a FISSIONE network with a single-attribute engine.
+func buildPIRA(b *testing.B, peers int, seed int64) *core.Engine {
+	b.Helper()
+	net, err := fissione.BuildRandom(benchK, peers, seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tree, err := naming.NewSingleTree(benchK, 0, benchSpace)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := core.New(net, tree)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return eng
+}
+
+// buildDCF builds a CAN network with the DCF range-query scheme.
+func buildDCF(b *testing.B, zones int, seed int64) *dcfcan.Scheme {
+	b.Helper()
+	net, err := can.BuildRandom(zones, seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := dcfcan.New(net, 9, 0, benchSpace)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// reportPIRA runs b.N random queries of the given width and reports the
+// figure metrics.
+func reportPIRA(b *testing.B, eng *core.Engine, width float64, seed int64) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	net := eng.Network()
+	var delay, msgs, dests int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := rng.Float64() * (benchSpace - width)
+		res, err := eng.RangeQuery(net.RandomPeer(rng), []float64{lo}, []float64{lo + width})
+		if err != nil {
+			b.Fatal(err)
+		}
+		delay += res.Stats.Delay
+		msgs += res.Stats.Messages
+		dests += res.Stats.DestPeers
+	}
+	b.ReportMetric(float64(delay)/float64(b.N), "hops/query")
+	b.ReportMetric(float64(msgs)/float64(b.N), "msgs/query")
+	b.ReportMetric(float64(dests)/float64(b.N), "destpeers/query")
+}
+
+// reportDCF runs b.N random DCF-CAN queries of the given width.
+func reportDCF(b *testing.B, s *dcfcan.Scheme, width float64, seed int64) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var delay, msgs, dests int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := rng.Float64() * (benchSpace - width)
+		res, err := s.RangeQuery(s.Network().RandomZone(rng), lo, lo+width)
+		if err != nil {
+			b.Fatal(err)
+		}
+		delay += res.Stats.Delay
+		msgs += res.Stats.Messages
+		dests += res.Stats.DestZones
+	}
+	b.ReportMetric(float64(delay)/float64(b.N), "hops/query")
+	b.ReportMetric(float64(msgs)/float64(b.N), "msgs/query")
+	b.ReportMetric(float64(dests)/float64(b.N), "destzones/query")
+}
+
+// BenchmarkFig5 regenerates Figure 5: query delay at different range sizes,
+// N = 2000, for PIRA and DCF-CAN (read hops/query).
+func BenchmarkFig5(b *testing.B) {
+	sizes := []int{2, 10, 50, 100, 150, 200, 250, 300}
+	b.Run("PIRA", func(b *testing.B) {
+		eng := buildPIRA(b, benchFig5Net, 1)
+		for _, size := range sizes {
+			b.Run(fmt.Sprintf("range=%d", size), func(b *testing.B) {
+				reportPIRA(b, eng, float64(size), int64(size))
+			})
+		}
+	})
+	b.Run("DCF-CAN", func(b *testing.B) {
+		s := buildDCF(b, benchFig5Net, 2)
+		for _, size := range sizes {
+			b.Run(fmt.Sprintf("range=%d", size), func(b *testing.B) {
+				reportDCF(b, s, float64(size), int64(size))
+			})
+		}
+	})
+}
+
+// BenchmarkFig6 regenerates Figure 6: message cost at different range
+// sizes, N = 2000 (read msgs/query and destpeers/query; MesgRatio and
+// IncreRatio derive from them).
+func BenchmarkFig6(b *testing.B) {
+	sizes := []int{2, 50, 150, 300}
+	eng := buildPIRA(b, benchFig5Net, 3)
+	s := buildDCF(b, benchFig5Net, 4)
+	for _, size := range sizes {
+		b.Run(fmt.Sprintf("PIRA/range=%d", size), func(b *testing.B) {
+			reportPIRA(b, eng, float64(size), int64(size)+10)
+		})
+		b.Run(fmt.Sprintf("DCF-CAN/range=%d", size), func(b *testing.B) {
+			reportDCF(b, s, float64(size), int64(size)+10)
+		})
+	}
+}
+
+// BenchmarkFig7 regenerates Figure 7: query delay at different network
+// sizes, range size 20 (read hops/query).
+func BenchmarkFig7(b *testing.B) {
+	for _, n := range []int{1000, 2000, 4000, 8000} {
+		b.Run(fmt.Sprintf("PIRA/N=%d", n), func(b *testing.B) {
+			eng := buildPIRA(b, n, int64(n))
+			reportPIRA(b, eng, 20, int64(n)+1)
+		})
+		b.Run(fmt.Sprintf("DCF-CAN/N=%d", n), func(b *testing.B) {
+			s := buildDCF(b, n, int64(n))
+			reportDCF(b, s, 20, int64(n)+1)
+		})
+	}
+}
+
+// BenchmarkFig8 regenerates Figure 8: message cost at different network
+// sizes, range size 20 (read msgs/query and destpeers/query).
+func BenchmarkFig8(b *testing.B) {
+	for _, n := range []int{1000, 4000, 8000} {
+		b.Run(fmt.Sprintf("PIRA/N=%d", n), func(b *testing.B) {
+			eng := buildPIRA(b, n, int64(n)+5)
+			reportPIRA(b, eng, 20, int64(n)+6)
+		})
+		b.Run(fmt.Sprintf("DCF-CAN/N=%d", n), func(b *testing.B) {
+			s := buildDCF(b, n, int64(n)+5)
+			reportDCF(b, s, 20, int64(n)+6)
+		})
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1's measured column: average delay of
+// the three implemented schemes at N = 2000, range size 50.
+func BenchmarkTable1(b *testing.B) {
+	const width = 50.0
+	b.Run("Armada-PIRA", func(b *testing.B) {
+		eng := buildPIRA(b, benchFig5Net, 21)
+		reportPIRA(b, eng, width, 22)
+	})
+	b.Run("DCF-CAN", func(b *testing.B) {
+		s := buildDCF(b, benchFig5Net, 23)
+		reportDCF(b, s, width, 24)
+	})
+	b.Run("SkipGraph", func(b *testing.B) {
+		g, err := skipgraph.Build(benchFig5Net, 0, benchSpace, 28)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(29))
+		var delay, msgs int
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			lo := rng.Float64() * (benchSpace - width)
+			res, err := g.RangeQuery(g.RandomNode(rng), lo, lo+width)
+			if err != nil {
+				b.Fatal(err)
+			}
+			delay += res.Stats.Delay
+			msgs += res.Stats.Messages
+		}
+		b.ReportMetric(float64(delay)/float64(b.N), "hops/query")
+		b.ReportMetric(float64(msgs)/float64(b.N), "msgs/query")
+	})
+	b.Run("PHT", func(b *testing.B) {
+		net, err := fissione.BuildRandom(benchK, benchFig5Net, 25)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng, err := core.New(net, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tree, err := pht.New(eng, 16, 8, 0, benchSpace, 26)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(27))
+		for i := 0; i < 2000; i++ {
+			tree.Insert(fmt.Sprintf("o%d", i), rng.Float64()*benchSpace)
+		}
+		var delay, msgs int
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			lo := rng.Float64() * (benchSpace - width)
+			res, err := tree.RangeQuery(lo, lo+width)
+			if err != nil {
+				b.Fatal(err)
+			}
+			delay += res.Stats.Delay
+			msgs += res.Stats.Messages
+		}
+		b.ReportMetric(float64(delay)/float64(b.N), "hops/query")
+		b.ReportMetric(float64(msgs)/float64(b.N), "msgs/query")
+	})
+}
+
+// BenchmarkDelayBound regenerates the Section 4.3.2 bound check: the
+// reported max-hops/query must stay below 2·log₂N (≈ 21.9 for N = 2000).
+func BenchmarkDelayBound(b *testing.B) {
+	eng := buildPIRA(b, benchFig5Net, 31)
+	rng := rand.New(rand.NewSource(32))
+	net := eng.Network()
+	maxDelay := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		width := []float64{2, 20, 200, 900}[i%4]
+		lo := rng.Float64() * (benchSpace - width)
+		res, err := eng.RangeQuery(net.RandomPeer(rng), []float64{lo}, []float64{lo + width})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Stats.Delay > maxDelay {
+			maxDelay = res.Stats.Delay
+		}
+	}
+	b.ReportMetric(float64(maxDelay), "max-hops")
+}
+
+// BenchmarkMIRA regenerates extension EX1: multi-attribute query cost at
+// m = 2 attributes, N = 2000.
+func BenchmarkMIRA(b *testing.B) {
+	net, err := fissione.BuildRandom(benchK, benchFig5Net, 41)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tree, err := naming.NewTree(benchK,
+		naming.Space{Low: 0, High: benchSpace}, naming.Space{Low: 0, High: benchSpace})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := core.New(net, tree)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	var delay, msgs int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := []float64{rng.Float64() * 800, rng.Float64() * 800}
+		hi := []float64{lo[0] + 140, lo[1] + 140}
+		res, err := eng.RangeQuery(net.RandomPeer(rng), lo, hi)
+		if err != nil {
+			b.Fatal(err)
+		}
+		delay += res.Stats.Delay
+		msgs += res.Stats.Messages
+	}
+	b.ReportMetric(float64(delay)/float64(b.N), "hops/query")
+	b.ReportMetric(float64(msgs)/float64(b.N), "msgs/query")
+}
+
+// BenchmarkAblationPruning regenerates extension EX5: message cost of the
+// pruned descent vs the unpruned FRT flood at N = 500.
+func BenchmarkAblationPruning(b *testing.B) {
+	eng := buildPIRA(b, 500, 51)
+	net := eng.Network()
+	run := func(b *testing.B, flood bool) {
+		rng := rand.New(rand.NewSource(52))
+		msgs := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			lo := rng.Float64() * (benchSpace - 20)
+			issuer := net.RandomPeer(rng)
+			var m int
+			if flood {
+				res, err := eng.FloodQuery(issuer, []float64{lo}, []float64{lo + 20})
+				if err != nil {
+					b.Fatal(err)
+				}
+				m = res.Stats.Messages
+			} else {
+				res, err := eng.RangeQuery(issuer, []float64{lo}, []float64{lo + 20})
+				if err != nil {
+					b.Fatal(err)
+				}
+				m = res.Stats.Messages
+			}
+			msgs += m
+		}
+		b.ReportMetric(float64(msgs)/float64(b.N), "msgs/query")
+	}
+	b.Run("pruned", func(b *testing.B) { run(b, false) })
+	b.Run("flood", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkLookup measures FISSIONE exact-match routing (degenerate PIRA).
+func BenchmarkLookup(b *testing.B) {
+	net, err := fissione.BuildRandom(benchK, benchFig5Net, 61)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := core.New(net, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(62))
+	hops := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		oid := kautz.Random(rng, benchK)
+		res, err := eng.Lookup(net.RandomPeer(rng), oid)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hops += res.Stats.Delay
+	}
+	b.ReportMetric(float64(hops)/float64(b.N), "hops/lookup")
+}
+
+// BenchmarkJoin measures FISSIONE's join protocol including routing-table
+// maintenance.
+func BenchmarkJoin(b *testing.B) {
+	net, err := fissione.BuildRandom(benchK, 1000, 71)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := net.Join(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSingleHash measures the order-preserving naming primitive.
+func BenchmarkSingleHash(b *testing.B) {
+	tree, err := naming.NewSingleTree(benchK, 0, benchSpace)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(81))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tree.Hash(rng.Float64() * benchSpace); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPublicAPIQuery exercises the public facade end to end.
+func BenchmarkPublicAPIQuery(b *testing.B) {
+	net, err := armada.NewNetwork(1000, armada.WithSeed(91))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if err := net.Publish(fmt.Sprintf("o%d", i), float64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(92))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := rng.Float64() * 900
+		if _, err := net.RangeQuery(lo, lo+50); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExperimentPoint measures one full experiment data point (the
+// harness's unit of work) at reduced query count.
+func BenchmarkExperimentPoint(b *testing.B) {
+	cfg := experiments.Config{Queries: 50, Seed: 101, K: benchK, FixedNet: 500,
+		RangeSizes: []int{50}, NetSizes: []int{500}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RangeSizeFigures(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+// Command armada-bench regenerates the tables and figures of the paper's
+// evaluation.
+//
+// Usage:
+//
+//	armada-bench -exp fig5                 # one experiment
+//	armada-bench -exp all -queries 1000    # the full evaluation
+//	armada-bench -exp fig7 -format csv     # machine-readable series
+//	armada-bench -exp fig5 -plot           # ASCII rendering of the figure
+//
+// Experiments: fig5, fig6, fig7, fig8 (paper figures), table1 (paper
+// table), bounds (Section 4.3.2 delay-bound claims), mira (extension EX1),
+// ablation (extension EX5).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"armada/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "armada-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("armada-bench", flag.ContinueOnError)
+	var (
+		exp     = fs.String("exp", "all", "experiment id: fig5|fig6|fig7|fig8|table1|bounds|mira|ablation|all")
+		queries = fs.Int("queries", 1000, "queries per data point")
+		seed    = fs.Int64("seed", 42, "random seed")
+		format  = fs.String("format", "table", "output format: table|csv")
+		plot    = fs.Bool("plot", false, "also render figures as ASCII plots")
+		quick   = fs.Bool("quick", false, "reduced sweep sizes for a fast pass")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := experiments.Config{Queries: *queries, Seed: *seed}
+	if *quick {
+		cfg.Queries = min(*queries, 100)
+		cfg.NetSizes = []int{1000, 2000, 4000}
+		cfg.FixedNet = 1000
+	}
+
+	figs, tabs, err := experiments.Run(*exp, cfg)
+	if err != nil {
+		return err
+	}
+	for _, fig := range figs {
+		if err := printFigure(fig, *format); err != nil {
+			return err
+		}
+		if *plot {
+			fmt.Println(asciiPlot(fig, 64, 16))
+		}
+	}
+	for _, tab := range tabs {
+		printTable(tab, *format)
+	}
+	return nil
+}
+
+func printFigure(fig experiments.Figure, format string) error {
+	switch format {
+	case "csv":
+		cols := make([]string, 0, len(fig.Series)+1)
+		cols = append(cols, fig.XLabel)
+		for _, s := range fig.Series {
+			cols = append(cols, s.Name)
+		}
+		fmt.Printf("# %s: %s\n", fig.ID, fig.Title)
+		fmt.Println(strings.Join(cols, ","))
+		for i, x := range fig.X {
+			row := []string{fmt.Sprintf("%g", x)}
+			for _, s := range fig.Series {
+				row = append(row, fmt.Sprintf("%.3f", s.Y[i]))
+			}
+			fmt.Println(strings.Join(row, ","))
+		}
+	case "table":
+		fmt.Printf("\n== %s: %s ==\n", fig.ID, fig.Title)
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		header := fig.XLabel
+		for _, s := range fig.Series {
+			header += "\t" + s.Name
+		}
+		fmt.Fprintln(w, header)
+		for i, x := range fig.X {
+			row := fmt.Sprintf("%g", x)
+			for _, s := range fig.Series {
+				row += fmt.Sprintf("\t%.2f", s.Y[i])
+			}
+			fmt.Fprintln(w, row)
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+	return nil
+}
+
+func printTable(tab *experiments.Table, format string) {
+	if format == "csv" {
+		fmt.Printf("# %s: %s\n", tab.ID, tab.Title)
+		fmt.Println(strings.Join(tab.Header, ","))
+		for _, row := range tab.Rows {
+			fmt.Println(strings.Join(row, ","))
+		}
+		return
+	}
+	fmt.Printf("\n== %s: %s ==\n", tab.ID, tab.Title)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, strings.Join(tab.Header, "\t"))
+	for _, row := range tab.Rows {
+		fmt.Fprintln(w, strings.Join(row, "\t"))
+	}
+	w.Flush()
+}
+
+// asciiPlot renders a figure's series on a character grid: series i is
+// drawn with the i-th marker.
+func asciiPlot(fig experiments.Figure, width, height int) string {
+	markers := []byte{'*', 'o', '.', '+', 'x', '#'}
+	maxY := 0.0
+	for _, s := range fig.Series {
+		for _, v := range s.Y {
+			if v > maxY {
+				maxY = v
+			}
+		}
+	}
+	if maxY == 0 {
+		maxY = 1
+	}
+	minX, maxX := fig.X[0], fig.X[len(fig.X)-1]
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range fig.Series {
+		m := markers[si%len(markers)]
+		for i, x := range fig.X {
+			col := int((x - minX) / (maxX - minX) * float64(width-1))
+			row := height - 1 - int(s.Y[i]/maxY*float64(height-1))
+			if row >= 0 && row < height && col >= 0 && col < width {
+				grid[row][col] = m
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  (y: 0..%.1f %s)\n", fig.Title, maxY, fig.YLabel)
+	for _, row := range grid {
+		b.WriteString("  |")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString("  +" + strings.Repeat("-", width) + "\n")
+	fmt.Fprintf(&b, "   %-10g%*s\n", minX, width-10, fmt.Sprintf("%g", maxX))
+	legend := make([]string, 0, len(fig.Series))
+	for si, s := range fig.Series {
+		legend = append(legend, fmt.Sprintf("%c=%s", markers[si%len(markers)], s.Name))
+	}
+	b.WriteString("   " + strings.Join(legend, "  ") + "\n")
+	return b.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

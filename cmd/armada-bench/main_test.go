@@ -1,0 +1,72 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"armada/internal/experiments"
+)
+
+func sampleFigure() experiments.Figure {
+	return experiments.Figure{
+		ID: "figX", Title: "Sample", XLabel: "N", YLabel: "hops",
+		X: []float64{1, 2, 4},
+		Series: []experiments.Series{
+			{Name: "a", Y: []float64{1, 2, 3}},
+			{Name: "b", Y: []float64{3, 2, 1}},
+		},
+	}
+}
+
+func TestAsciiPlotRendersAllSeries(t *testing.T) {
+	out := asciiPlot(sampleFigure(), 40, 10)
+	if !strings.Contains(out, "*=a") || !strings.Contains(out, "o=b") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("markers missing:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 12 {
+		t.Fatalf("plot too short: %d lines", len(lines))
+	}
+}
+
+func TestAsciiPlotDegenerate(t *testing.T) {
+	fig := experiments.Figure{
+		ID: "flat", Title: "Flat", XLabel: "x",
+		X:      []float64{5},
+		Series: []experiments.Series{{Name: "z", Y: []float64{0}}},
+	}
+	out := asciiPlot(fig, 20, 5)
+	if out == "" {
+		t.Fatal("degenerate figure produced no plot")
+	}
+}
+
+func TestPrintFigureFormats(t *testing.T) {
+	if err := printFigure(sampleFigure(), "csv"); err != nil {
+		t.Fatalf("csv: %v", err)
+	}
+	if err := printFigure(sampleFigure(), "table"); err != nil {
+		t.Fatalf("table: %v", err)
+	}
+	if err := printFigure(sampleFigure(), "xml"); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "nope", "-queries", "5"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if err := run([]string{"-badflag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunQuickTable1(t *testing.T) {
+	if err := run([]string{"-exp", "table1", "-queries", "10", "-quick", "-format", "csv"}); err != nil {
+		t.Fatalf("quick table1: %v", err)
+	}
+}

@@ -1,0 +1,93 @@
+// Churn: peers join and leave while queries keep running. The example
+// verifies that FISSIONE's structural invariants (prefix-free cover,
+// neighborhood invariant, routing-table duality) hold after every batch of
+// churn and that range queries remain exact throughout.
+//
+//	go run ./examples/churn
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"armada"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	net, err := armada.NewNetwork(300, armada.WithSeed(31))
+	if err != nil {
+		return err
+	}
+
+	// A fixed reference data set so query results are checkable at any
+	// moment.
+	const objects = 500
+	for i := 0; i < objects; i++ {
+		if err := net.Publish(fmt.Sprintf("obj-%04d", i), float64(i*2)); err != nil {
+			return err
+		}
+	}
+	expect := func(lo, hi float64) int {
+		count := 0
+		for i := 0; i < objects; i++ {
+			if v := float64(i * 2); v >= lo && v <= hi {
+				count++
+			}
+		}
+		return count
+	}
+
+	rng := rand.New(rand.NewSource(32))
+	const rounds = 10
+	const eventsPerRound = 40
+	fmt.Printf("%-6s %-7s %-22s %-12s %-10s\n", "round", "peers", "id-length min/avg/max", "query delay", "matches")
+	for round := 1; round <= rounds; round++ {
+		for e := 0; e < eventsPerRound; e++ {
+			if rng.Intn(2) == 0 {
+				if _, err := net.Join(); err != nil {
+					return err
+				}
+			} else {
+				ids := net.PeerIDs()
+				if err := net.Leave(ids[rng.Intn(len(ids))]); err != nil {
+					return err
+				}
+			}
+		}
+
+		// Structural invariants must hold after every round.
+		if err := net.Audit(); err != nil {
+			return fmt.Errorf("round %d: %w", round, err)
+		}
+
+		// And queries must stay exact and delay-bounded.
+		lo := rng.Float64() * 800
+		hi := lo + 100
+		res, err := net.RangeQuery(lo, hi)
+		if err != nil {
+			return err
+		}
+		if len(res.Objects) != expect(lo, hi) {
+			return fmt.Errorf("round %d: query [%0.f,%0.f] found %d, want %d",
+				round, lo, hi, len(res.Objects), expect(lo, hi))
+		}
+		topo := net.Topology()
+		bound := 2 * math.Log2(float64(topo.Peers))
+		if float64(res.Stats.Delay) >= bound {
+			return fmt.Errorf("round %d: delay %d breaks bound %.1f", round, res.Stats.Delay, bound)
+		}
+		fmt.Printf("%-6d %-7d %d/%.1f/%-14d %3d hops     %d\n",
+			round, topo.Peers, topo.MinIDLength, topo.AvgIDLength, topo.MaxIDLength,
+			res.Stats.Delay, len(res.Objects))
+	}
+	fmt.Println("\nall rounds: invariants held, results exact, delays bounded")
+	return nil
+}

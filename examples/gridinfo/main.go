@@ -1,0 +1,93 @@
+// Gridinfo: a grid information service answering multi-attribute range
+// queries with MIRA — the paper's motivating example "1GB ≤ Memory ≤ 4GB
+// and 50GB ≤ disk ≤ 200GB".
+//
+//	go run ./examples/gridinfo
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"armada"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 2000 peers index grid hosts along two attributes: memory (GB) and
+	// disk (GB).
+	net, err := armada.NewNetwork(2000,
+		armada.WithSeed(11),
+		armada.WithAttributes(
+			armada.AttributeSpace{Low: 0, High: 64},   // memory GB
+			armada.AttributeSpace{Low: 0, High: 2000}, // disk GB
+		),
+	)
+	if err != nil {
+		return err
+	}
+
+	// Register a synthetic fleet of hosts.
+	rng := rand.New(rand.NewSource(12))
+	memChoices := []float64{0.5, 1, 2, 4, 8, 16, 32, 64}
+	const hosts = 3000
+	matching := 0
+	for i := 0; i < hosts; i++ {
+		mem := memChoices[rng.Intn(len(memChoices))]
+		disk := float64(rng.Intn(2000)) + 1
+		if mem >= 1 && mem <= 4 && disk >= 50 && disk <= 200 {
+			matching++
+		}
+		if err := net.Publish(fmt.Sprintf("host-%04d", i), mem, disk); err != nil {
+			return err
+		}
+	}
+
+	// The paper's query.
+	res, err := net.MultiRangeQuery(
+		armada.Range{Low: 1, High: 4},    // 1GB ≤ memory ≤ 4GB
+		armada.Range{Low: 50, High: 200}, // 50GB ≤ disk ≤ 200GB
+	)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("grid query: 1 <= mem <= 4 GB and 50 <= disk <= 200 GB\n")
+	fmt.Printf("  found %d/%d hosts (expected %d)\n", len(res.Objects), hosts, matching)
+	for i, o := range res.Objects {
+		if i == 8 {
+			fmt.Printf("  ... and %d more\n", len(res.Objects)-8)
+			break
+		}
+		fmt.Printf("  %-10s mem=%4.1fGB disk=%6.1fGB  on peer %s\n",
+			o.Name, o.Values[0], o.Values[1], o.Peer)
+	}
+	if len(res.Objects) != matching {
+		return fmt.Errorf("MIRA returned %d hosts, want %d", len(res.Objects), matching)
+	}
+
+	logN := math.Log2(float64(net.Size()))
+	fmt.Printf("\nMIRA cost: %d hops (bound 2*logN = %.1f), %d messages, %d destination peers\n",
+		res.Stats.Delay, 2*logN, res.Stats.Messages, res.Stats.DestPeers)
+
+	// Top-k variant: the 3 best-provisioned matching hosts by memory.
+	top, err := net.TopK(3,
+		armada.Range{Low: 1, High: 4},
+		armada.Range{Low: 50, High: 200},
+	)
+	if err != nil {
+		return err
+	}
+	fmt.Println("top-3 matching hosts by memory:")
+	for _, o := range top.Objects {
+		fmt.Printf("  %-10s mem=%4.1fGB disk=%6.1fGB\n", o.Name, o.Values[0], o.Values[1])
+	}
+	return nil
+}

@@ -1,0 +1,337 @@
+// Package can implements a two-dimensional Content-Addressable Network
+// (Ratnasamy et al., SIGCOMM 2001): the DHT substrate of the paper's
+// DCF-CAN baseline. The coordinate space is the unit torus [0,1)²,
+// partitioned into rectangular zones, one per peer. Joins split the zone
+// owning a random point; zones sharing an edge are neighbors; routing is
+// greedy by torus distance. With d = 2 dimensions the average degree is 2d
+// = 4, matching the degree the paper grants the baseline (Section 4.3.3).
+package can
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+
+	"armada/internal/hilbert"
+)
+
+// Errors returned by the network.
+var (
+	ErrNoSuchZone = errors.New("can: no such zone")
+	ErrStuck      = errors.New("can: greedy routing stuck")
+)
+
+// Item is an object stored in a zone by the range-query layer.
+type Item struct {
+	Name  string
+	Value float64
+}
+
+// Zone is one peer's rectangular region of the coordinate space.
+type Zone struct {
+	id        string
+	rect      hilbert.Rect
+	neighbors []string
+	items     []Item
+}
+
+// ID returns the zone's identifier.
+func (z *Zone) ID() string { return z.id }
+
+// Rect returns the zone's rectangle.
+func (z *Zone) Rect() hilbert.Rect { return z.rect }
+
+// Neighbors returns the zone's neighbor identifiers in ascending order. The
+// slice is owned by the zone and must not be modified.
+func (z *Zone) Neighbors() []string { return z.neighbors }
+
+// Items returns the objects stored in the zone. The slice is owned by the
+// zone and must not be modified.
+func (z *Zone) Items() []Item { return z.items }
+
+// AddItem stores an object in the zone.
+func (z *Zone) AddItem(it Item) { z.items = append(z.items, it) }
+
+// Network is a CAN overlay. It is not safe for concurrent mutation.
+type Network struct {
+	zones map[string]*Zone
+	ids   []string // sorted
+	rng   *rand.Rand
+	next  int
+}
+
+// New creates a network with a single zone covering the whole space.
+func New(seed int64) *Network {
+	n := &Network{
+		zones: make(map[string]*Zone),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+	z := &Zone{id: n.newID(), rect: hilbert.Rect{X0: 0, Y0: 0, X1: 1, Y1: 1}}
+	n.zones[z.id] = z
+	n.ids = []string{z.id}
+	return n
+}
+
+// BuildRandom creates a network of size zones by repeatedly splitting the
+// zone owning a uniformly random point, as CAN joins do.
+func BuildRandom(size int, seed int64) (*Network, error) {
+	n := New(seed)
+	for n.Size() < size {
+		x, y := n.rng.Float64(), n.rng.Float64()
+		owner, err := n.ZoneAt(x, y)
+		if err != nil {
+			return nil, err
+		}
+		n.split(owner)
+	}
+	return n, nil
+}
+
+func (n *Network) newID() string {
+	id := "z" + strconv.Itoa(n.next)
+	n.next++
+	return id
+}
+
+// Size returns the number of zones.
+func (n *Network) Size() int { return len(n.zones) }
+
+// Zone returns the zone with the given identifier.
+func (n *Network) Zone(id string) (*Zone, bool) {
+	z, ok := n.zones[id]
+	return z, ok
+}
+
+// ZoneIDs returns all zone identifiers in ascending order (a copy).
+func (n *Network) ZoneIDs() []string { return append([]string(nil), n.ids...) }
+
+// RandomZone returns a zone identifier drawn from rng (or the network's
+// source when nil).
+func (n *Network) RandomZone(rng *rand.Rand) string {
+	if rng == nil {
+		rng = n.rng
+	}
+	return n.ids[rng.Intn(len(n.ids))]
+}
+
+// ZoneAt returns the identifier of the zone containing point (x,y).
+func (n *Network) ZoneAt(x, y float64) (string, error) {
+	for _, id := range n.ids {
+		if n.zones[id].rect.ContainsPoint(x, y) {
+			return id, nil
+		}
+	}
+	return "", fmt.Errorf("%w: no zone contains (%v,%v)", ErrNoSuchZone, x, y)
+}
+
+// split halves the zone along its longer side; the existing zone keeps the
+// lower half and a new zone takes the upper half.
+func (n *Network) split(id string) {
+	z := n.zones[id]
+	r := z.rect
+	var lower, upper hilbert.Rect
+	if r.X1-r.X0 >= r.Y1-r.Y0 {
+		mid := (r.X0 + r.X1) / 2
+		lower = hilbert.Rect{X0: r.X0, Y0: r.Y0, X1: mid, Y1: r.Y1}
+		upper = hilbert.Rect{X0: mid, Y0: r.Y0, X1: r.X1, Y1: r.Y1}
+	} else {
+		mid := (r.Y0 + r.Y1) / 2
+		lower = hilbert.Rect{X0: r.X0, Y0: r.Y0, X1: r.X1, Y1: mid}
+		upper = hilbert.Rect{X0: r.X0, Y0: mid, X1: r.X1, Y1: r.Y1}
+	}
+	nz := &Zone{id: n.newID(), rect: upper}
+	z.rect = lower
+	n.zones[nz.id] = nz
+	n.insertID(nz.id)
+
+	// Items stay on the surviving zone: zones cannot re-derive an item's
+	// coordinates from its value, so the range-query layer publishes only
+	// after the network is built (as the experiments do).
+
+	// Refresh adjacency around the split: the two children and every former
+	// neighbor of the parent.
+	affected := append([]string{z.id, nz.id}, z.neighbors...)
+	n.refreshNeighbors(affected)
+}
+
+// refreshNeighbors recomputes the neighbor lists of the given zones.
+func (n *Network) refreshNeighbors(ids []string) {
+	for _, id := range ids {
+		z, ok := n.zones[id]
+		if !ok {
+			continue
+		}
+		var nbs []string
+		for _, otherID := range n.ids {
+			if otherID == id {
+				continue
+			}
+			if adjacentTorus(z.rect, n.zones[otherID].rect) {
+				nbs = append(nbs, otherID)
+			}
+		}
+		sort.Strings(nbs)
+		z.neighbors = nbs
+	}
+}
+
+// adjacentTorus reports whether two zone rectangles share an edge segment
+// on the unit torus.
+func adjacentTorus(a, b hilbert.Rect) bool {
+	touchX := edgesTouch(a.X0, a.X1, b.X0, b.X1)
+	touchY := edgesTouch(a.Y0, a.Y1, b.Y0, b.Y1)
+	overlapX := intervalsOverlap(a.X0, a.X1, b.X0, b.X1)
+	overlapY := intervalsOverlap(a.Y0, a.Y1, b.Y0, b.Y1)
+	return (touchX && overlapY) || (touchY && overlapX)
+}
+
+// edgesTouch reports whether [a0,a1) and [b0,b1) abut on the unit circle.
+func edgesTouch(a0, a1, b0, b1 float64) bool {
+	return a1 == b0 || b1 == a0 || (a1 == 1 && b0 == 0) || (b1 == 1 && a0 == 0)
+}
+
+// intervalsOverlap reports whether [a0,a1) and [b0,b1) overlap with
+// positive length.
+func intervalsOverlap(a0, a1, b0, b1 float64) bool {
+	return a0 < b1 && b0 < a1
+}
+
+// torusAxisDist returns the torus distance from coordinate t to the
+// interval [lo,hi).
+func torusAxisDist(t, lo, hi float64) float64 {
+	if t >= lo && t < hi {
+		return 0
+	}
+	return math.Min(torusPointDist(t, lo), torusPointDist(t, hi))
+}
+
+// torusPointDist is the distance between two coordinates on the unit
+// circle.
+func torusPointDist(a, b float64) float64 {
+	d := math.Abs(a - b)
+	return math.Min(d, 1-d)
+}
+
+// zoneDist is the squared torus distance from the closest point of rect to
+// the target point.
+func zoneDist(r hilbert.Rect, x, y float64) float64 {
+	dx := torusAxisDist(x, r.X0, r.X1)
+	dy := torusAxisDist(y, r.Y0, r.Y1)
+	return dx*dx + dy*dy
+}
+
+// Route greedily forwards from the zone `from` toward the point (x,y),
+// returning the destination zone and the hop count. Each hop moves to the
+// neighbor whose zone is closest (by torus distance) to the target; this
+// strictly decreases the distance, so routing terminates at the owner.
+func (n *Network) Route(from string, x, y float64) (dest string, hops int, err error) {
+	cur, ok := n.zones[from]
+	if !ok {
+		return "", 0, fmt.Errorf("%w: %q", ErrNoSuchZone, from)
+	}
+	visited := map[string]bool{from: true}
+	for !cur.rect.ContainsPoint(x, y) {
+		curDist := zoneDist(cur.rect, x, y)
+		var best *Zone
+		bestDist := math.Inf(1)
+		for _, nbID := range cur.neighbors {
+			nb := n.zones[nbID]
+			if nb.rect.ContainsPoint(x, y) {
+				best, bestDist = nb, 0
+				break
+			}
+			if d := zoneDist(nb.rect, x, y); d < bestDist && (d < curDist || !visited[nbID]) {
+				best, bestDist = nb, d
+			}
+		}
+		if best == nil {
+			return "", hops, fmt.Errorf("%w at zone %q toward (%v,%v)", ErrStuck, cur.id, x, y)
+		}
+		cur = best
+		visited[cur.id] = true
+		hops++
+		if hops > 4*len(n.ids) {
+			return "", hops, fmt.Errorf("%w: hop budget exhausted toward (%v,%v)", ErrStuck, x, y)
+		}
+	}
+	return cur.id, hops, nil
+}
+
+// CheckPartition verifies that the zones tile the unit square exactly.
+func (n *Network) CheckPartition() error {
+	var area float64
+	for _, id := range n.ids {
+		r := n.zones[id].rect
+		if r.X1 <= r.X0 || r.Y1 <= r.Y0 {
+			return fmt.Errorf("can: zone %q has empty rect %+v", id, r)
+		}
+		area += (r.X1 - r.X0) * (r.Y1 - r.Y0)
+	}
+	if math.Abs(area-1) > 1e-9 {
+		return fmt.Errorf("can: zones cover area %v, want 1", area)
+	}
+	// Spot containment uniqueness on a grid.
+	for i := 0; i < 16; i++ {
+		for j := 0; j < 16; j++ {
+			x, y := (float64(i)+0.5)/16, (float64(j)+0.5)/16
+			owners := 0
+			for _, id := range n.ids {
+				if n.zones[id].rect.ContainsPoint(x, y) {
+					owners++
+				}
+			}
+			if owners != 1 {
+				return fmt.Errorf("can: point (%v,%v) owned by %d zones", x, y, owners)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckNeighbors verifies neighbor lists are symmetric and match geometry.
+func (n *Network) CheckNeighbors() error {
+	for _, id := range n.ids {
+		z := n.zones[id]
+		for _, nbID := range z.neighbors {
+			nb, ok := n.zones[nbID]
+			if !ok {
+				return fmt.Errorf("can: zone %q lists missing neighbor %q", id, nbID)
+			}
+			if !adjacentTorus(z.rect, nb.rect) {
+				return fmt.Errorf("can: zones %q and %q listed but not adjacent", id, nbID)
+			}
+			if !containsString(nb.neighbors, id) {
+				return fmt.Errorf("can: neighbor link %q -> %q not symmetric", id, nbID)
+			}
+		}
+	}
+	return nil
+}
+
+// AvgDegree returns the mean number of neighbors per zone.
+func (n *Network) AvgDegree() float64 {
+	total := 0
+	for _, id := range n.ids {
+		total += len(n.zones[id].neighbors)
+	}
+	return float64(total) / float64(len(n.ids))
+}
+
+func (n *Network) insertID(id string) {
+	i := sort.SearchStrings(n.ids, id)
+	n.ids = append(n.ids, "")
+	copy(n.ids[i+1:], n.ids[i:])
+	n.ids[i] = id
+}
+
+func containsString(list []string, s string) bool {
+	for _, x := range list {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

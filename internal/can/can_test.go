@@ -1,0 +1,191 @@
+package can
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewSingleZone(t *testing.T) {
+	n := New(1)
+	if n.Size() != 1 {
+		t.Fatalf("size = %d", n.Size())
+	}
+	id, err := n.ZoneAt(0.3, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, ok := n.Zone(id)
+	if !ok || z.Rect().X1 != 1 || z.Rect().Y1 != 1 {
+		t.Fatalf("zone %v", z)
+	}
+	if err := n.CheckPartition(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildRandomPartition(t *testing.T) {
+	for _, size := range []int{2, 10, 100, 500} {
+		n, err := BuildRandom(size, int64(size))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n.Size() != size {
+			t.Fatalf("size = %d, want %d", n.Size(), size)
+		}
+		if err := n.CheckPartition(); err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		if err := n.CheckNeighbors(); err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+	}
+}
+
+// A 2-d CAN has average degree near 2d = 4 (torus adjacency; uneven splits
+// raise it somewhat).
+func TestAvgDegree(t *testing.T) {
+	n, err := BuildRandom(500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := n.AvgDegree(); d < 4 || d > 8 {
+		t.Errorf("avg degree = %.2f, want within [4, 8]", d)
+	}
+}
+
+func TestZoneAtUnique(t *testing.T) {
+	n, err := BuildRandom(64, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < 200; i++ {
+		x, y := rng.Float64(), rng.Float64()
+		id, err := n.ZoneAt(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		z, _ := n.Zone(id)
+		if !z.Rect().ContainsPoint(x, y) {
+			t.Fatalf("ZoneAt(%v,%v) = %q does not contain the point", x, y, id)
+		}
+	}
+}
+
+func TestRouteReachesOwner(t *testing.T) {
+	n, err := BuildRandom(300, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(14))
+	for i := 0; i < 100; i++ {
+		x, y := rng.Float64(), rng.Float64()
+		from := n.RandomZone(rng)
+		dest, hops, err := n.Route(from, x, y)
+		if err != nil {
+			t.Fatalf("route from %q to (%v,%v): %v", from, x, y, err)
+		}
+		want, err := n.ZoneAt(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dest != want {
+			t.Fatalf("route landed at %q, want %q", dest, want)
+		}
+		if hops > n.Size() {
+			t.Fatalf("route took %d hops in a %d-zone network", hops, n.Size())
+		}
+	}
+}
+
+func TestRouteFromOwnerIsFree(t *testing.T) {
+	n, err := BuildRandom(50, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, err := n.ZoneAt(0.25, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dest, hops, err := n.Route(owner, 0.25, 0.25)
+	if err != nil || dest != owner || hops != 0 {
+		t.Fatalf("self route = %q/%d/%v", dest, hops, err)
+	}
+}
+
+func TestRouteUnknownZone(t *testing.T) {
+	n := New(1)
+	if _, _, err := n.Route("nope", 0.5, 0.5); err == nil {
+		t.Error("unknown source accepted")
+	}
+}
+
+// Average route length on a 2-d CAN grows on the order of sqrt(N).
+func TestRouteScaling(t *testing.T) {
+	avg := func(size int) float64 {
+		n, err := BuildRandom(size, int64(size)*3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(size)*3 + 1))
+		total := 0
+		const trials = 100
+		for i := 0; i < trials; i++ {
+			_, hops, err := n.Route(n.RandomZone(rng), rng.Float64(), rng.Float64())
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += hops
+		}
+		return float64(total) / trials
+	}
+	small, large := avg(100), avg(900)
+	// sqrt(900/100) = 3: expect roughly a 3x increase; accept a wide band.
+	if ratio := large / small; ratio < 1.8 || ratio > 5 {
+		t.Errorf("route scaling 100->900 zones: %.2f -> %.2f (ratio %.2f), want ≈ 3",
+			small, large, ratio)
+	}
+	if large < 0.3*math.Sqrt(900) || large > 1.5*math.Sqrt(900) {
+		t.Errorf("avg hops at N=900 = %.1f, want on the order of sqrt(N)=30", large)
+	}
+}
+
+func TestItems(t *testing.T) {
+	n := New(23)
+	id := n.ZoneIDs()[0]
+	z, _ := n.Zone(id)
+	z.AddItem(Item{Name: "a", Value: 1})
+	z.AddItem(Item{Name: "b", Value: 2})
+	if len(z.Items()) != 2 {
+		t.Fatalf("items = %v", z.Items())
+	}
+}
+
+func TestTorusAdjacency(t *testing.T) {
+	// Zones on opposite edges of the unit square are torus neighbors.
+	n, err := BuildRandom(16, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leftID, err := n.ZoneAt(0.01, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rightID, err := n.ZoneAt(0.99, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	left, _ := n.Zone(leftID)
+	right, _ := n.Zone(rightID)
+	if left.Rect().X0 == 0 && right.Rect().X1 == 1 && leftID != rightID {
+		if !containsString(left.Neighbors(), rightID) &&
+			!intervalsDisjointOnY(left, right) {
+			t.Errorf("edge zones %q and %q with overlapping Y should wrap-neighbor", leftID, rightID)
+		}
+	}
+}
+
+func intervalsDisjointOnY(a, b *Zone) bool {
+	return !(a.Rect().Y0 < b.Rect().Y1 && b.Rect().Y0 < a.Rect().Y1)
+}

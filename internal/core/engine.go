@@ -1,0 +1,351 @@
+// Package core implements Armada's query processing — the paper's primary
+// contribution. One pruned descent of the issuer's forward routing tree
+// (FRT) drives all three query types:
+//
+//   - PIRA (single-attribute range queries, Section 4.2): the query
+//     [LowV, HighV] becomes the Kautz region ⟨LowT, HighT⟩; the region is
+//     split into at most three subregions with common first symbols; each
+//     descends the FRT, forwarding to an out-neighbor exactly when the
+//     subregion still contains a string with the child's eventual prefix.
+//   - MIRA (multi-attribute range queries, Section 5): the same descent over
+//     ⟨Multiple_hash(ω1), Multiple_hash(ω2)⟩ with one extra pruning
+//     predicate — a child is forwarded only while the partition-tree
+//     subspace of its eventual prefix intersects the real query box Ω.
+//   - Exact-match lookup (FISSIONE routing): the degenerate region ⟨T, T⟩.
+//
+// The descent starts at the query issuer (no preliminary DHT routing), so a
+// query's delay is bounded by the issuer's identifier length: less than
+// 2·log₂N hops always and less than log₂N on average — the delay-bounded
+// property the paper is named for.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"armada/internal/fissione"
+	"armada/internal/kautz"
+	"armada/internal/naming"
+	"armada/internal/simnet"
+)
+
+// Mode selects the execution engine for a query.
+type Mode int
+
+// Execution modes. Sync runs the deterministic single-threaded engine used
+// by the experiments; Async runs one goroutine per peer.
+const (
+	Sync Mode = iota + 1
+	Async
+)
+
+// Errors returned by the engine.
+var (
+	ErrNoTree      = errors.New("core: engine has no naming tree; range queries unavailable")
+	ErrNoSuchPeer  = errors.New("core: issuer is not a peer")
+	ErrKMismatch   = errors.New("core: naming tree depth must equal the network's ObjectID length")
+	ErrBadObjectID = errors.New("core: ObjectID must be a Kautz string of the network's length k")
+)
+
+// Engine executes Armada queries over a FISSIONE network. The network
+// topology must not be mutated while a query is in flight; queries
+// themselves may run concurrently with each other.
+type Engine struct {
+	net   *fissione.Network
+	tree  *naming.Tree
+	mode  Mode
+	trace TraceFunc
+}
+
+// TraceFunc observes one descent hop. from is the processing peer, to the
+// forward's target; deliveries report to == from with remaining == 0. A
+// trace function installed on an engine running Async queries must be safe
+// for concurrent use.
+type TraceFunc func(from, to kautz.Str, depth, remaining int)
+
+// New creates an engine. tree may be nil for an exact-match-only engine;
+// otherwise its depth must equal the network's ObjectID length.
+func New(net *fissione.Network, tree *naming.Tree) (*Engine, error) {
+	if tree != nil && tree.K() != net.K() {
+		return nil, fmt.Errorf("%w: tree k=%d, network k=%d", ErrKMismatch, tree.K(), net.K())
+	}
+	return &Engine{net: net, tree: tree, mode: Sync}, nil
+}
+
+// SetMode selects the default execution mode (Sync if never called).
+func (e *Engine) SetMode(m Mode) { e.mode = m }
+
+// SetTrace installs a hop observer (nil disables tracing). Must not be
+// called while queries are in flight.
+func (e *Engine) SetTrace(f TraceFunc) { e.trace = f }
+
+// Tree returns the engine's naming tree (nil for exact-match-only engines).
+func (e *Engine) Tree() *naming.Tree { return e.tree }
+
+// Network returns the underlying FISSIONE network.
+func (e *Engine) Network() *fissione.Network { return e.net }
+
+// Stats are the cost metrics of one executed query, in the paper's units.
+type Stats struct {
+	// Delay is the number of hops until the last destination peer received
+	// the query.
+	Delay int
+	// Messages is the total number of overlay messages the query produced.
+	Messages int
+	// DestPeers is the number of distinct destination peers that intersect
+	// the query ("Destpeers" in Section 4.3.3).
+	DestPeers int
+	// Subregions is how many common-prefix subregions the query's Kautz
+	// region was split into (1 to 3).
+	Subregions int
+	// Deliveries counts destination arrivals including any duplicates; it
+	// equals DestPeers when each destination is reached exactly once.
+	Deliveries int
+}
+
+// MesgRatio is Messages/Destpeers, the paper's per-destination message
+// cost.
+func (s Stats) MesgRatio() float64 {
+	if s.DestPeers == 0 {
+		return 0
+	}
+	return float64(s.Messages) / float64(s.DestPeers)
+}
+
+// IncreRatio is (Messages − log₂N)/(Destpeers − 1) for a network of n
+// peers: the marginal messages per additional destination, excluding the
+// roughly log₂N cost of reaching the first.
+func (s Stats) IncreRatio(networkSize int) float64 {
+	if s.DestPeers <= 1 {
+		return 0
+	}
+	return (float64(s.Messages) - log2(float64(networkSize))) / float64(s.DestPeers-1)
+}
+
+// Match is one object satisfying a query.
+type Match struct {
+	ObjectID kautz.Str
+	Name     string
+	Values   []float64
+	Peer     kautz.Str
+}
+
+// RangeResult is the outcome of a range query.
+type RangeResult struct {
+	// Matches lists the objects whose attribute values satisfy the query,
+	// in ascending (ObjectID, Name) order.
+	Matches []Match
+	// Destinations lists the distinct destination peers, ascending.
+	Destinations []kautz.Str
+	// Stats carries the query's cost metrics.
+	Stats Stats
+}
+
+// queryMsg is the payload carried by one descent message.
+type queryMsg struct {
+	region kautz.Region
+	h      int // remaining hops to the destination level
+}
+
+// queryState accumulates results across a query's messages; handlers may
+// run concurrently in Async mode.
+type queryState struct {
+	mu      sync.Mutex
+	box     *naming.Box
+	matches []Match
+	dests   []kautz.Str
+}
+
+// RangeQuery executes a range query issued by the given peer: PIRA when the
+// engine's naming tree has one attribute, MIRA otherwise. lo and hi carry
+// one bound per attribute.
+func (e *Engine) RangeQuery(issuer kautz.Str, lo, hi []float64) (*RangeResult, error) {
+	if e.tree == nil {
+		return nil, ErrNoTree
+	}
+	box, err := e.tree.NewBox(lo, hi)
+	if err != nil {
+		return nil, fmt.Errorf("core: range query bounds: %w", err)
+	}
+	region, err := e.tree.QueryRegion(box)
+	if err != nil {
+		return nil, fmt.Errorf("core: range query region: %w", err)
+	}
+	return e.descend(issuer, region, &box)
+}
+
+// LookupResult is the outcome of an exact-match lookup.
+type LookupResult struct {
+	Owner   kautz.Str
+	Objects []fissione.Object
+	Stats   Stats
+}
+
+// Lookup routes from the issuer to the peer owning objectID — FISSIONE's
+// exact-match query, executed as the degenerate range ⟨objectID, objectID⟩
+// — and returns the objects published under it.
+func (e *Engine) Lookup(issuer kautz.Str, objectID kautz.Str) (*LookupResult, error) {
+	if len(objectID) != e.net.K() || !kautz.Valid(objectID) {
+		return nil, fmt.Errorf("%w: %q", ErrBadObjectID, objectID)
+	}
+	region, err := kautz.NewRegion(objectID, objectID)
+	if err != nil {
+		return nil, err
+	}
+	res, err := e.descend(issuer, region, nil)
+	if err != nil {
+		return nil, err
+	}
+	out := &LookupResult{Stats: res.Stats}
+	if len(res.Destinations) > 0 {
+		out.Owner = res.Destinations[0]
+	}
+	for _, m := range res.Matches {
+		out.Objects = append(out.Objects, fissione.Object{Name: m.Name, Values: m.Values})
+	}
+	return out, nil
+}
+
+// descend runs the pruned FRT search from the issuer over the query region,
+// additionally pruning with the box's subspace predicate when box is
+// non-nil.
+func (e *Engine) descend(issuer kautz.Str, region kautz.Region, box *naming.Box) (*RangeResult, error) {
+	if _, ok := e.net.Peer(issuer); !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchPeer, issuer)
+	}
+	state := &queryState{box: box}
+	parts := region.SplitByFirstSymbol()
+
+	seeds := make([]simnet.Message, 0, len(parts))
+	for _, part := range parts {
+		comT := part.CommonPrefix()
+		f := kautz.OverlapSuffixPrefix(issuer, comT)
+		seeds = append(seeds, simnet.Message{
+			To:      string(issuer),
+			Payload: queryMsg{region: part, h: len(issuer) - f},
+		})
+	}
+
+	handle := func(m simnet.Message) []simnet.Message { return e.step(state, m) }
+
+	var metrics simnet.Metrics
+	if e.mode == Async {
+		ids := e.net.PeerIDs()
+		strIDs := make([]string, len(ids))
+		for i, id := range ids {
+			strIDs[i] = string(id)
+		}
+		metrics = simnet.RunAsync(strIDs, seeds, handle)
+	} else {
+		metrics = simnet.RunSync(seeds, handle)
+	}
+
+	return state.result(metrics, len(parts)), nil
+}
+
+// step processes one descent message at its destination peer and returns
+// the forwards. It is safe for concurrent use.
+func (e *Engine) step(state *queryState, m simnet.Message) []simnet.Message {
+	qm, ok := m.Payload.(queryMsg)
+	if !ok {
+		return nil
+	}
+	peer, ok := e.net.Peer(kautz.Str(m.To))
+	if !ok {
+		return nil
+	}
+	if qm.h == 0 {
+		if e.trace != nil {
+			e.trace(peer.ID(), peer.ID(), m.Depth, 0)
+		}
+		state.deliver(peer, qm.region)
+		return nil
+	}
+	var fwd []simnet.Message
+	for _, c := range peer.Out() {
+		ep := c.Drop(qm.h - 1) // the child's eventual prefix at the destination level
+		if !qm.region.ContainsPrefix(ep) {
+			continue
+		}
+		if state.box != nil && !e.prefixIntersectsBox(ep, *state.box) {
+			continue
+		}
+		if e.trace != nil {
+			e.trace(peer.ID(), c, m.Depth, qm.h-1)
+		}
+		fwd = append(fwd, simnet.Message{To: string(c), Payload: queryMsg{region: qm.region, h: qm.h - 1}})
+	}
+	return fwd
+}
+
+// prefixIntersectsBox applies MIRA's subspace predicate, truncating
+// prefixes that exceed the tree depth.
+func (e *Engine) prefixIntersectsBox(prefix kautz.Str, box naming.Box) bool {
+	if len(prefix) > e.tree.K() {
+		prefix = prefix[:e.tree.K()]
+	}
+	ok, err := e.tree.IntersectsPrefix(prefix, box)
+	return err == nil && ok
+}
+
+// deliver records the peer as a destination and collects its matching
+// objects.
+func (state *queryState) deliver(peer *fissione.Peer, region kautz.Region) {
+	stored := peer.ObjectsInRegion(region)
+	state.mu.Lock()
+	defer state.mu.Unlock()
+	state.dests = append(state.dests, peer.ID())
+	for _, so := range stored {
+		if state.box != nil {
+			if len(so.Object.Values) != len(state.box.Lo) || !state.box.Contains(so.Object.Values) {
+				continue
+			}
+		}
+		state.matches = append(state.matches, Match{
+			ObjectID: so.ObjectID,
+			Name:     so.Object.Name,
+			Values:   append([]float64(nil), so.Object.Values...),
+			Peer:     peer.ID(),
+		})
+	}
+}
+
+// result assembles the final RangeResult.
+func (state *queryState) result(metrics simnet.Metrics, subregions int) *RangeResult {
+	state.mu.Lock()
+	defer state.mu.Unlock()
+
+	dests := append([]kautz.Str(nil), state.dests...)
+	sort.Slice(dests, func(i, j int) bool { return dests[i] < dests[j] })
+	unique := dests[:0]
+	for i, d := range dests {
+		if i == 0 || d != dests[i-1] {
+			unique = append(unique, d)
+		}
+	}
+
+	matches := append([]Match(nil), state.matches...)
+	sort.Slice(matches, func(i, j int) bool {
+		if matches[i].ObjectID != matches[j].ObjectID {
+			return matches[i].ObjectID < matches[j].ObjectID
+		}
+		return matches[i].Name < matches[j].Name
+	})
+
+	return &RangeResult{
+		Matches:      matches,
+		Destinations: unique,
+		Stats: Stats{
+			Delay:      metrics.Delay,
+			Messages:   metrics.Messages,
+			DestPeers:  len(unique),
+			Subregions: subregions,
+			Deliveries: len(state.dests),
+		},
+	}
+}
+
+func log2(x float64) float64 { return math.Log2(x) }

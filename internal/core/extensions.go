@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"armada/internal/kautz"
+	"armada/internal/simnet"
+)
+
+// This file implements two extensions beyond the paper's evaluation:
+//
+//   - TopK: the top-k query named as future work in the paper's Section 6,
+//     built as a pruned descent that enters the queried region from its high
+//     end and stops spawning branches once k matches are known.
+//   - FloodQuery: an ablation that disables PIRA's pruning predicate,
+//     quantifying how much of Armada's message efficiency comes from
+//     pruning rather than from the FRT shape itself.
+
+// TopKResult is the outcome of a top-k query.
+type TopKResult struct {
+	// Matches holds at most k objects with the largest first-attribute
+	// values within the queried range, descending.
+	Matches []Match
+	Stats   Stats
+}
+
+// TopK returns up to k objects with the highest attribute-0 values in
+// [lo, hi], issued by the given peer. The descent walks the region's
+// subregions from the high end and short-circuits once k matches have been
+// collected from regions that can only hold larger values than those
+// remaining; the delay bound is PIRA's.
+func (e *Engine) TopK(issuer kautz.Str, lo, hi []float64, k int) (*TopKResult, error) {
+	if e.tree == nil {
+		return nil, ErrNoTree
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("core: top-k needs k ≥ 1, got %d", k)
+	}
+	box, err := e.tree.NewBox(lo, hi)
+	if err != nil {
+		return nil, fmt.Errorf("core: top-k bounds: %w", err)
+	}
+	region, err := e.tree.QueryRegion(box)
+	if err != nil {
+		return nil, fmt.Errorf("core: top-k region: %w", err)
+	}
+	if _, ok := e.net.Peer(issuer); !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchPeer, issuer)
+	}
+
+	state := &queryState{box: &box}
+	// Process subregions from the high end: once a subregion yields k
+	// matches, lower subregions cannot contribute to the top k (the naming
+	// is order-preserving, so higher regions hold higher values).
+	parts := region.SplitByFirstSymbol()
+	var metrics simnet.Metrics
+	ran := 0
+	for i := len(parts) - 1; i >= 0; i-- {
+		part := parts[i]
+		f := kautz.OverlapSuffixPrefix(issuer, part.CommonPrefix())
+		seed := simnet.Message{To: string(issuer), Payload: queryMsg{region: part, h: len(issuer) - f}}
+		m := simnet.RunSync([]simnet.Message{seed}, func(msg simnet.Message) []simnet.Message {
+			return e.step(state, msg)
+		})
+		metrics = simnet.MergeMetrics(metrics, m)
+		ran++
+		state.mu.Lock()
+		enough := len(state.matches) >= k
+		state.mu.Unlock()
+		if enough {
+			break
+		}
+	}
+
+	res := state.result(metrics, ran)
+	matches := res.Matches
+	sort.Slice(matches, func(i, j int) bool {
+		if matches[i].Values[0] != matches[j].Values[0] {
+			return matches[i].Values[0] > matches[j].Values[0]
+		}
+		return matches[i].Name < matches[j].Name
+	})
+	if len(matches) > k {
+		matches = matches[:k]
+	}
+	return &TopKResult{Matches: matches, Stats: res.Stats}, nil
+}
+
+// FloodQuery executes the range query without PIRA's pruning predicate:
+// every peer forwards to all of its out-neighbors until the destination
+// level, and matching happens only at delivery. It returns the same result
+// set as RangeQuery at a much higher message cost; it exists to measure the
+// value of pruning and must not be used for real queries.
+func (e *Engine) FloodQuery(issuer kautz.Str, lo, hi []float64) (*RangeResult, error) {
+	if e.tree == nil {
+		return nil, ErrNoTree
+	}
+	box, err := e.tree.NewBox(lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	region, err := e.tree.QueryRegion(box)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := e.net.Peer(issuer); !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchPeer, issuer)
+	}
+	state := &queryState{box: &box}
+	parts := region.SplitByFirstSymbol()
+	seeds := make([]simnet.Message, 0, len(parts))
+	for _, part := range parts {
+		f := kautz.OverlapSuffixPrefix(issuer, part.CommonPrefix())
+		seeds = append(seeds, simnet.Message{
+			To:      string(issuer),
+			Payload: queryMsg{region: part, h: len(issuer) - f},
+		})
+	}
+	handle := func(m simnet.Message) []simnet.Message {
+		qm, ok := m.Payload.(queryMsg)
+		if !ok {
+			return nil
+		}
+		peer, ok := e.net.Peer(kautz.Str(m.To))
+		if !ok {
+			return nil
+		}
+		if qm.h == 0 {
+			// Deliver only where the region predicate holds, so results and
+			// destination counts stay comparable with RangeQuery.
+			if qm.region.ContainsPrefix(peer.ID()) {
+				state.deliver(peer, qm.region)
+			}
+			return nil
+		}
+		fwd := make([]simnet.Message, 0, len(peer.Out()))
+		for _, c := range peer.Out() {
+			fwd = append(fwd, simnet.Message{To: string(c), Payload: queryMsg{region: qm.region, h: qm.h - 1}})
+		}
+		return fwd
+	}
+	metrics := simnet.RunSync(seeds, handle)
+	return state.result(metrics, len(parts)), nil
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestTopKReturnsHighestValues(t *testing.T) {
+	eng, objs := buildSingle(t, 120, 500, 201)
+	rng := rand.New(rand.NewSource(202))
+	for trial := 0; trial < 25; trial++ {
+		lo := rng.Float64() * 500
+		hi := lo + 100 + rng.Float64()*(1000-lo-100)
+		k := 1 + rng.Intn(10)
+		issuer := eng.Network().RandomPeer(rng)
+		res, err := eng.TopK(issuer, []float64{lo}, []float64{hi}, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Oracle: sort in-range values descending, take k.
+		var want []float64
+		for _, o := range objs {
+			if o.Values[0] >= lo && o.Values[0] <= hi {
+				want = append(want, o.Values[0])
+			}
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(want)))
+		if len(want) > k {
+			want = want[:k]
+		}
+		if len(res.Matches) != len(want) {
+			t.Fatalf("top-%d: got %d matches, want %d", k, len(res.Matches), len(want))
+		}
+		for i, m := range res.Matches {
+			if m.Values[0] != want[i] {
+				t.Fatalf("top-%d[%d] = %v, want %v", k, i, m.Values[0], want[i])
+			}
+		}
+	}
+}
+
+func TestTopKValidation(t *testing.T) {
+	eng, _ := buildSingle(t, 16, 0, 203)
+	if _, err := eng.TopK(eng.Network().PeerIDs()[0], []float64{0}, []float64{10}, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := eng.TopK("01010101010", []float64{0}, []float64{10}, 3); err == nil {
+		t.Error("unknown issuer accepted")
+	}
+}
+
+func TestTopKDelayBounded(t *testing.T) {
+	eng, _ := buildSingle(t, 300, 600, 205)
+	rng := rand.New(rand.NewSource(206))
+	for trial := 0; trial < 20; trial++ {
+		issuer := eng.Network().RandomPeer(rng)
+		res, err := eng.TopK(issuer, []float64{0}, []float64{1000}, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.Delay > len(issuer) {
+			t.Fatalf("top-k delay %d exceeds issuer length %d", res.Stats.Delay, len(issuer))
+		}
+	}
+}
+
+// FloodQuery returns the same results as RangeQuery but costs far more
+// messages — the pruning ablation.
+func TestFloodQueryMatchesRangeQuery(t *testing.T) {
+	eng, _ := buildSingle(t, 150, 300, 207)
+	rng := rand.New(rand.NewSource(208))
+	for trial := 0; trial < 10; trial++ {
+		lo := rng.Float64() * 900
+		hi := lo + rng.Float64()*(1000-lo)
+		issuer := eng.Network().RandomPeer(rng)
+		pruned, err := eng.RangeQuery(issuer, []float64{lo}, []float64{hi})
+		if err != nil {
+			t.Fatal(err)
+		}
+		flooded, err := eng.FloodQuery(issuer, []float64{lo}, []float64{hi})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pruned.Matches) != len(flooded.Matches) {
+			t.Fatalf("flood found %d matches, pruned %d", len(flooded.Matches), len(pruned.Matches))
+		}
+		for i := range pruned.Matches {
+			if pruned.Matches[i].Name != flooded.Matches[i].Name {
+				t.Fatalf("match %d differs", i)
+			}
+		}
+		if len(pruned.Destinations) != len(flooded.Destinations) {
+			t.Fatalf("flood hit %d destinations, pruned %d",
+				len(flooded.Destinations), len(pruned.Destinations))
+		}
+		if flooded.Stats.Messages < pruned.Stats.Messages {
+			t.Fatalf("flood cheaper than pruned search: %d < %d",
+				flooded.Stats.Messages, pruned.Stats.Messages)
+		}
+		if flooded.Stats.Delay != pruned.Stats.Delay {
+			t.Fatalf("flood delay %d != pruned delay %d (same FRT height expected)",
+				flooded.Stats.Delay, pruned.Stats.Delay)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package experiments
+
+import "testing"
+
+// smallCfg keeps test runs fast while exercising the full pipeline.
+func smallCfg() Config {
+	return Config{
+		Queries:    30,
+		Seed:       7,
+		K:          28,
+		CurveOrder: 8,
+		RangeSizes: []int{10, 100},
+		NetSizes:   []int{100, 300},
+		FixedNet:   200,
+		FixedRange: 20,
+	}
+}
+
+func TestWithDefaults(t *testing.T) {
+	cfg := Config{}.WithDefaults()
+	if cfg.Queries != 1000 || cfg.FixedNet != 2000 || cfg.FixedRange != 20 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+	if len(cfg.RangeSizes) != 8 || len(cfg.NetSizes) != 8 {
+		t.Errorf("default sweeps = %v / %v", cfg.RangeSizes, cfg.NetSizes)
+	}
+	if cfg.SpaceLow != 0 || cfg.SpaceHigh != 1000 {
+		t.Errorf("default space = [%v, %v]", cfg.SpaceLow, cfg.SpaceHigh)
+	}
+}
+
+func TestRangeSizeFiguresShape(t *testing.T) {
+	figs, err := RangeSizeFigures(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 3 {
+		t.Fatalf("got %d figures, want 3", len(figs))
+	}
+	fig5 := figs[0]
+	if fig5.ID != "fig5" || len(fig5.X) != 2 || len(fig5.Series) != 3 {
+		t.Fatalf("fig5 shape: %+v", fig5)
+	}
+	// PIRA's delay must stay below logN and be essentially flat; DCF-CAN's
+	// must exceed it.
+	pira, dcf, logN := fig5.Series[0].Y, fig5.Series[1].Y, fig5.Series[2].Y
+	for i := range fig5.X {
+		if pira[i] >= logN[i] {
+			t.Errorf("PIRA delay %v ≥ logN %v at x=%v", pira[i], logN[i], fig5.X[i])
+		}
+		if dcf[i] <= pira[i] {
+			t.Errorf("DCF-CAN delay %v ≤ PIRA %v at x=%v", dcf[i], pira[i], fig5.X[i])
+		}
+	}
+	// Fig 6a: Destpeers ≈ half of PIRA messages (paper's observation).
+	fig6a := figs[1]
+	msgs, dest := fig6a.Series[0].Y, fig6a.Series[2].Y
+	for i := range fig6a.X {
+		if dest[i] <= 0 || msgs[i] <= dest[i] {
+			t.Errorf("fig6a point %d: messages %v vs destpeers %v", i, msgs[i], dest[i])
+		}
+	}
+	// Fig 6b: IncreRatio (marginal messages per destination) stays near 2;
+	// MesgRatio includes the fixed ~logN routing cost and so can sit higher
+	// when destinations are few — it must still come down toward 2 as the
+	// range grows.
+	fig6b := figs[2]
+	mesg, incre := fig6b.Series[0].Y, fig6b.Series[1].Y
+	for i, v := range incre {
+		if v < 0.8 || v > 2.6 {
+			t.Errorf("fig6b IncreRatio[%d] = %v, want ≈ 2", i, v)
+		}
+	}
+	last := len(mesg) - 1
+	if mesg[last] < 1.5 || mesg[last] > 3.5 {
+		t.Errorf("fig6b MesgRatio at largest range = %v, want ≈ 2", mesg[last])
+	}
+	if mesg[last] > mesg[0] {
+		t.Errorf("MesgRatio should fall as ranges grow: %v -> %v", mesg[0], mesg[last])
+	}
+}
+
+func TestNetworkSizeFiguresShape(t *testing.T) {
+	figs, err := NetworkSizeFigures(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 3 {
+		t.Fatalf("got %d figures, want 3", len(figs))
+	}
+	fig7 := figs[0]
+	pira, dcf := fig7.Series[0].Y, fig7.Series[1].Y
+	// DCF-CAN delay grows faster with N than PIRA's.
+	if dcf[1]-dcf[0] <= pira[1]-pira[0] {
+		t.Errorf("DCF-CAN growth %v..%v should exceed PIRA growth %v..%v",
+			dcf[0], dcf[1], pira[0], pira[1])
+	}
+}
+
+func TestTable1(t *testing.T) {
+	tab, err := Table1(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("table has %d rows, want 6", len(tab.Rows))
+	}
+	last := tab.Rows[len(tab.Rows)-1]
+	if last[0] != "Armada (this paper)" || last[7] != "yes" {
+		t.Fatalf("Armada row = %v", last)
+	}
+	// Every row has a value per header column.
+	for _, row := range tab.Rows {
+		if len(row) != len(tab.Header) {
+			t.Fatalf("row %v has %d cells, header has %d", row, len(row), len(tab.Header))
+		}
+	}
+}
+
+func TestDelayBounds(t *testing.T) {
+	fig, err := DelayBounds(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxDelay, bound := fig.Series[0].Y, fig.Series[1].Y
+	avg, logN := fig.Series[2].Y, fig.Series[3].Y
+	for i := range fig.X {
+		if maxDelay[i] >= bound[i] {
+			t.Errorf("max delay %v ≥ 2logN %v at N=%v", maxDelay[i], bound[i], fig.X[i])
+		}
+		if avg[i] >= logN[i] {
+			t.Errorf("avg delay %v ≥ logN %v at N=%v", avg[i], logN[i], fig.X[i])
+		}
+	}
+}
+
+func TestMIRAFigure(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Queries = 15
+	fig, err := MIRAFigure(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delay, logN := fig.Series[0].Y, fig.Series[1].Y
+	for i := range fig.X {
+		if delay[i] >= 2*logN[i] {
+			t.Errorf("MIRA delay %v ≥ 2logN %v at m=%v", delay[i], 2*logN[i], fig.X[i])
+		}
+	}
+}
+
+func TestAblationFigure(t *testing.T) {
+	cfg := smallCfg()
+	fig, err := AblationFigure(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, flood := fig.Series[0].Y, fig.Series[1].Y
+	for i := range fig.X {
+		if flood[i] <= pruned[i] {
+			t.Errorf("flood %v ≤ pruned %v at N=%v: pruning should save messages",
+				flood[i], pruned[i], fig.X[i])
+		}
+	}
+}
+
+func TestRunDispatch(t *testing.T) {
+	cfg := smallCfg()
+	figs, tabs, err := Run("table1", cfg)
+	if err != nil || len(figs) != 0 || len(tabs) != 1 {
+		t.Fatalf("table1 dispatch: %d figs %d tabs %v", len(figs), len(tabs), err)
+	}
+	if _, _, err := Run("nope", cfg); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	figs, _, err = Run("fig5", cfg)
+	if err != nil || len(figs) != 3 {
+		t.Fatalf("fig5 dispatch: %d figs %v", len(figs), err)
+	}
+}

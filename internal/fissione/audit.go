@@ -1,0 +1,172 @@
+package fissione
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"armada/internal/kautz"
+)
+
+// IDLengthStats summarizes the distribution of peer identifier lengths. The
+// paper's FISSIONE bounds are Max < 2·log₂N and Avg < log₂N.
+type IDLengthStats struct {
+	Min int
+	Max int
+	Avg float64
+}
+
+// IDLengths returns the identifier length distribution.
+func (n *Network) IDLengths() IDLengthStats {
+	s := IDLengthStats{Min: math.MaxInt}
+	total := 0
+	for _, id := range n.ids {
+		l := len(id)
+		total += l
+		if l < s.Min {
+			s.Min = l
+		}
+		if l > s.Max {
+			s.Max = l
+		}
+	}
+	s.Avg = float64(total) / float64(len(n.ids))
+	return s
+}
+
+// AvgOutDegree returns the mean out-degree across peers. FISSIONE's average
+// degree is 4 (2 out + 2 in on average; out-degree alone averages 2).
+func (n *Network) AvgOutDegree() float64 {
+	total := 0
+	for _, id := range n.ids {
+		total += len(n.peers[id].out)
+	}
+	return float64(total) / float64(len(n.ids))
+}
+
+// AvgDegree returns the mean total degree (in + out) across peers.
+func (n *Network) AvgDegree() float64 {
+	total := 0
+	for _, id := range n.ids {
+		p := n.peers[id]
+		total += len(p.out) + len(p.in)
+	}
+	return float64(total) / float64(len(n.ids))
+}
+
+// CheckCover verifies that the peer identifiers form a prefix-free exact
+// cover of KautzSpace(2,k): no identifier is a prefix of another, and the
+// regions sum to the whole namespace.
+func (n *Network) CheckCover() error {
+	ids := n.PeerIDs() // sorted
+	maxLen := 0
+	for _, id := range ids {
+		if !kautz.Valid(id) || len(id) == 0 || len(id) >= n.k {
+			return fmt.Errorf("%w: identifier %q invalid for k=%d", ErrCorrupt, id, n.k)
+		}
+		if len(id) > maxLen {
+			maxLen = len(id)
+		}
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i].HasPrefix(ids[i-1]) {
+			return fmt.Errorf("%w: %q is a prefix of %q", ErrCorrupt, ids[i-1], ids[i])
+		}
+	}
+	// Each identifier of length l covers 2^(maxLen-l) slots of a depth-maxLen
+	// expansion; a full cover sums to 3·2^(maxLen-1).
+	var total uint64
+	for _, id := range ids {
+		total += uint64(1) << uint(maxLen-len(id))
+	}
+	if want := uint64(3) << uint(maxLen-1); total != want {
+		return fmt.Errorf("%w: regions cover %d/%d of the namespace", ErrCorrupt, total, want)
+	}
+	return nil
+}
+
+// CheckInvariant verifies the neighborhood invariant: the identifier
+// lengths of any pair of neighboring peers differ by at most one.
+func (n *Network) CheckInvariant() error {
+	for _, id := range n.ids {
+		p := n.peers[id]
+		for _, lists := range [2][]kautz.Str{p.out, p.in} {
+			for _, nb := range lists {
+				if d := len(id) - len(nb); d > 1 || d < -1 {
+					return fmt.Errorf("fissione: neighborhood invariant violated: |%q|-|%q| = %d", id, nb, d)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckTables verifies that every peer's stored routing table matches the
+// tables derived from the current cover, and that in/out lists are duals.
+func (n *Network) CheckTables() error {
+	for _, id := range n.ids {
+		p := n.peers[id]
+		if !equalIDs(p.out, n.computeOut(id)) {
+			return fmt.Errorf("fissione: stale out-table at %q: have %v, want %v", id, p.out, n.computeOut(id))
+		}
+		if !equalIDs(p.in, n.computeIn(id)) {
+			return fmt.Errorf("fissione: stale in-table at %q: have %v, want %v", id, p.in, n.computeIn(id))
+		}
+		for _, nb := range p.out {
+			q, ok := n.peers[nb]
+			if !ok {
+				return fmt.Errorf("fissione: %q lists missing out-neighbor %q", id, nb)
+			}
+			if !containsID(q.in, id) {
+				return fmt.Errorf("fissione: %q -> %q edge not mirrored in in-table", id, nb)
+			}
+		}
+	}
+	return nil
+}
+
+// Audit runs every structural check.
+func (n *Network) Audit() error {
+	if err := n.CheckCover(); err != nil {
+		return err
+	}
+	if err := n.CheckInvariant(); err != nil {
+		return err
+	}
+	return n.CheckTables()
+}
+
+// PeersIntersectingRegion returns, from the global view, the identifiers of
+// all peers owning at least one ObjectID in the region — the ground-truth
+// destination set ("Destpeers") used to validate query engines.
+func (n *Network) PeersIntersectingRegion(r kautz.Region) []kautz.Str {
+	var out []kautz.Str
+	for _, id := range n.ids {
+		if r.ContainsPrefix(id) {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func equalIDs(a, b []kautz.Str) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func containsID(list []kautz.Str, id kautz.Str) bool {
+	for _, x := range list {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,34 @@
+package fissione
+
+import (
+	"fmt"
+
+	"armada/internal/kautz"
+)
+
+// FailAbrupt simulates a crash-stop failure of the identified peer: unlike
+// a graceful Leave, the peer's stored objects are lost (this implementation
+// does not replicate data — neither does the paper's). The surviving peers
+// then run the same region-takeover protocol a graceful departure uses —
+// FISSIONE's self-stabilization restores the prefix cover and the
+// neighborhood invariant before the next query.
+//
+// The network remains fully consistent when FailAbrupt returns; tests may
+// call Audit to verify. Failing below the three seed regions is rejected.
+func (n *Network) FailAbrupt(id kautz.Str) error {
+	p, ok := n.peers[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchPeer, id)
+	}
+	if len(n.peers) <= 3 {
+		return ErrTooSmall
+	}
+	// The crash destroys the peer's data; the takeover protocol then
+	// reassigns its (now empty) region exactly as a departure would.
+	lost := p.ObjectCount()
+	p.store = make(map[kautz.Str][]Object)
+	if err := n.Leave(id); err != nil {
+		return fmt.Errorf("fissione: stabilization after crash of %q (%d objects lost): %w", id, lost, err)
+	}
+	return nil
+}

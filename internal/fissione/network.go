@@ -1,0 +1,484 @@
+package fissione
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"armada/internal/kautz"
+)
+
+// Errors returned by Network operations.
+var (
+	ErrTooSmall    = errors.New("fissione: network cannot shrink below its three seed regions")
+	ErrNoSuchPeer  = errors.New("fissione: no such peer")
+	ErrBadObjectID = errors.New("fissione: ObjectID must be a Kautz string of the network's length k")
+	ErrCorrupt     = errors.New("fissione: namespace cover is corrupt")
+)
+
+// Network is a FISSIONE overlay of peers partitioning KautzSpace(2,k) by
+// identifier prefix. It is not safe for concurrent mutation; queries that
+// only read the topology may run concurrently (see the simnet package).
+type Network struct {
+	k     int
+	peers map[kautz.Str]*Peer
+	ids   []kautz.Str // sorted; kept in sync with peers
+	rng   *rand.Rand
+}
+
+// New creates a minimal network of the three seed peers 0, 1 and 2, with
+// ObjectIDs of length k. The seed determines all subsequent randomized
+// choices (join targets), making builds reproducible.
+func New(k int, seed int64) (*Network, error) {
+	if k < 2 || k > kautz.MaxRankLen {
+		return nil, fmt.Errorf("fissione: k=%d out of range [2, %d]", k, kautz.MaxRankLen)
+	}
+	n := &Network{
+		k:     k,
+		peers: make(map[kautz.Str]*Peer, 3),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+	for _, id := range []kautz.Str{"0", "1", "2"} {
+		n.peers[id] = newPeer(id)
+		n.ids = append(n.ids, id)
+	}
+	for id := range n.peers {
+		n.refreshTables(id)
+	}
+	return n, nil
+}
+
+// BuildRandom creates a network of size peers grown by random joins (each
+// join hashes to a random namespace position and splits the local
+// length-minimum peer there, as FISSIONE joins do).
+func BuildRandom(k, size int, seed int64) (*Network, error) {
+	n, err := New(k, seed)
+	if err != nil {
+		return nil, err
+	}
+	if err := n.Grow(size - n.Size()); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// BuildBalanced creates a network of size peers by always splitting a peer
+// of globally minimal identifier length, yielding identifier lengths that
+// differ by at most one across the whole network.
+func BuildBalanced(k, size int, seed int64) (*Network, error) {
+	n, err := New(k, seed)
+	if err != nil {
+		return nil, err
+	}
+	for n.Size() < size {
+		shortest := n.ids[0]
+		for _, id := range n.ids[1:] {
+			if len(id) < len(shortest) {
+				shortest = id
+			}
+		}
+		if _, _, err := n.split(shortest); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// K returns the ObjectID length.
+func (n *Network) K() int { return n.k }
+
+// Size returns the number of peers.
+func (n *Network) Size() int { return len(n.peers) }
+
+// Peer returns the peer with the given identifier.
+func (n *Network) Peer(id kautz.Str) (*Peer, bool) {
+	p, ok := n.peers[id]
+	return p, ok
+}
+
+// PeerIDs returns all peer identifiers in ascending order. The returned
+// slice is a copy.
+func (n *Network) PeerIDs() []kautz.Str {
+	return append([]kautz.Str(nil), n.ids...)
+}
+
+// RandomPeer returns a peer identifier drawn uniformly from rng (or the
+// network's own source when rng is nil).
+func (n *Network) RandomPeer(rng *rand.Rand) kautz.Str {
+	if rng == nil {
+		rng = n.rng
+	}
+	return n.ids[rng.Intn(len(n.ids))]
+}
+
+// Grow performs count random joins.
+func (n *Network) Grow(count int) error {
+	for i := 0; i < count; i++ {
+		if _, err := n.Join(); err != nil {
+			return fmt.Errorf("grow join %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Join adds one peer: it picks a uniformly random namespace position, finds
+// the owning peer, walks to a local minimum of identifier length (preserving
+// the neighborhood invariant) and splits it. It returns the identifier of
+// the newly created peer.
+func (n *Network) Join() (kautz.Str, error) {
+	target := kautz.Random(n.rng, n.k)
+	owner, err := n.OwnerOf(target)
+	if err != nil {
+		return "", err
+	}
+	victim := n.walkToLocalMin(owner)
+	_, created, err := n.split(victim)
+	return created, err
+}
+
+// walkToLocalMin follows neighbor links from start to a peer whose
+// identifier is no longer than any of its neighbors'. Each step moves to a
+// strictly shorter neighbor (smallest length, then smallest identifier, for
+// determinism), so the walk terminates.
+func (n *Network) walkToLocalMin(start kautz.Str) kautz.Str {
+	cur := start
+	for {
+		p := n.peers[cur]
+		best := cur
+		for _, lists := range [2][]kautz.Str{p.out, p.in} {
+			for _, nb := range lists {
+				if len(nb) < len(best) || (len(nb) == len(best) && nb < best) {
+					best = nb
+				}
+			}
+		}
+		if len(best) >= len(cur) {
+			return cur
+		}
+		cur = best
+	}
+}
+
+// split divides the region of peer id between it and a freshly created
+// peer: id's two children in the partition trie become the identifiers, the
+// existing peer keeps the lexicographically lower child and the new peer
+// takes the higher. It returns both identifiers.
+func (n *Network) split(id kautz.Str) (kept, created kautz.Str, err error) {
+	p, ok := n.peers[id]
+	if !ok {
+		return "", "", fmt.Errorf("%w: %q", ErrNoSuchPeer, id)
+	}
+	if len(id)+1 >= n.k {
+		return "", "", fmt.Errorf("fissione: cannot split %q: identifier would reach ObjectID length %d", id, n.k)
+	}
+	ext := kautz.Extensions(id)
+	lower, upper := id+kautz.Str(ext[0]), id+kautz.Str(ext[1])
+
+	affected := neighborSet(p)
+
+	// The existing peer is renamed to the lower child; the new peer takes
+	// the upper child and the objects falling in its half.
+	n.removeID(id)
+	delete(n.peers, id)
+	p.id = lower
+	n.peers[lower] = p
+	n.insertID(lower)
+
+	np := newPeer(upper)
+	n.peers[upper] = np
+	n.insertID(upper)
+	p.moveObjectsWithPrefix(upper, np)
+
+	affected[lower] = struct{}{}
+	affected[upper] = struct{}{}
+	n.refreshAll(affected)
+	return lower, upper, nil
+}
+
+// Leave removes the peer id gracefully, reassigning its region and objects
+// while preserving the prefix cover and the neighborhood invariant.
+//
+// If the departing peer's trie sibling is itself a leaf peer and absorbing
+// the pair's parent region violates no invariant, the sibling takes over
+// (case A). Otherwise a globally deepest sibling leaf pair is merged — which
+// is always invariant-safe — and the peer freed by that merge adopts the
+// departing peer's identifier and objects (case B).
+func (n *Network) Leave(id kautz.Str) error {
+	p, ok := n.peers[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchPeer, id)
+	}
+	if len(n.peers) <= 3 {
+		return ErrTooSmall
+	}
+
+	// Case A: direct sibling merge.
+	if sib, ok := n.leafSibling(id); ok && n.mergeSafe(id, sib) {
+		parent := id[:len(id)-1]
+		sp := n.peers[sib]
+		affected := neighborSet(p)
+		for a := range neighborSet(sp) {
+			affected[a] = struct{}{}
+		}
+
+		n.removeID(id)
+		delete(n.peers, id)
+		n.removeID(sib)
+		delete(n.peers, sib)
+		p.moveAllObjects(sp)
+		sp.id = parent
+		n.peers[parent] = sp
+		n.insertID(parent)
+
+		affected[parent] = struct{}{}
+		delete(affected, id)
+		delete(affected, sib)
+		n.refreshAll(affected)
+		return nil
+	}
+
+	// Case B: merge a globally deepest sibling pair and relocate the freed
+	// peer into the departing peer's position.
+	u0, u1, ok := n.deepestSiblingPair(id)
+	if !ok {
+		return fmt.Errorf("%w: no mergeable sibling pair", ErrCorrupt)
+	}
+	parent := u0[:len(u0)-1]
+	keep, free := n.peers[u0], n.peers[u1]
+
+	affected := neighborSet(p)
+	for a := range neighborSet(keep) {
+		affected[a] = struct{}{}
+	}
+	for a := range neighborSet(free) {
+		affected[a] = struct{}{}
+	}
+
+	// Merge the pair: keep absorbs the parent region.
+	n.removeID(u0)
+	delete(n.peers, u0)
+	n.removeID(u1)
+	delete(n.peers, u1)
+	free.moveAllObjects(keep)
+	keep.id = parent
+	n.peers[parent] = keep
+	n.insertID(parent)
+
+	// Relocate the freed peer into the departing peer's identity.
+	n.removeID(id)
+	delete(n.peers, id)
+	free.id = id
+	p.moveAllObjects(free)
+	n.peers[id] = free
+	n.insertID(id)
+
+	affected[parent] = struct{}{}
+	affected[id] = struct{}{}
+	delete(affected, u0)
+	delete(affected, u1)
+	n.refreshAll(affected)
+	return nil
+}
+
+// leafSibling returns the identifier of id's trie sibling if that sibling
+// is an existing leaf peer. Peers directly under the ternary root have two
+// siblings; merging there is never possible above three peers, so they
+// report false.
+func (n *Network) leafSibling(id kautz.Str) (kautz.Str, bool) {
+	if len(id) < 2 {
+		return "", false
+	}
+	parent := id[:len(id)-1]
+	for _, c := range kautz.Extensions(parent) {
+		sib := parent + kautz.Str(c)
+		if sib == id {
+			continue
+		}
+		if _, ok := n.peers[sib]; ok {
+			return sib, true
+		}
+	}
+	return "", false
+}
+
+// mergeSafe reports whether merging leaf peers a and b into their parent
+// keeps the neighborhood invariant: no neighbor of either may be longer
+// than the pair (the merged peer is one symbol shorter).
+func (n *Network) mergeSafe(a, b kautz.Str) bool {
+	l := len(a)
+	for _, id := range []kautz.Str{a, b} {
+		p := n.peers[id]
+		for _, lists := range [2][]kautz.Str{p.out, p.in} {
+			for _, nb := range lists {
+				if len(nb) > l {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// deepestSiblingPair finds two sibling leaf peers of maximal identifier
+// length, excluding the departing peer exclude (whose own sibling merge was
+// already ruled out).
+func (n *Network) deepestSiblingPair(exclude kautz.Str) (kautz.Str, kautz.Str, bool) {
+	var bestA, bestB kautz.Str
+	for _, id := range n.ids {
+		if id == exclude || len(id) < 2 || len(id) <= len(bestA) {
+			continue
+		}
+		parent := id[:len(id)-1]
+		for _, c := range kautz.Extensions(parent) {
+			sib := parent + kautz.Str(c)
+			if sib == id || sib == exclude {
+				continue
+			}
+			if _, ok := n.peers[sib]; ok {
+				bestA, bestB = id, sib
+				break
+			}
+		}
+	}
+	if bestA == "" {
+		return "", "", false
+	}
+	if bestB < bestA {
+		bestA, bestB = bestB, bestA
+	}
+	return bestA, bestB, true
+}
+
+// OwnerOf returns the identifier of the peer owning objectID (the unique
+// peer whose identifier is a prefix of it).
+func (n *Network) OwnerOf(objectID kautz.Str) (kautz.Str, error) {
+	if len(objectID) != n.k || !kautz.Valid(objectID) {
+		return "", fmt.Errorf("%w: %q", ErrBadObjectID, objectID)
+	}
+	for l := 1; l <= len(objectID); l++ {
+		if _, ok := n.peers[objectID[:l]]; ok {
+			return objectID[:l], nil
+		}
+	}
+	return "", fmt.Errorf("%w: no owner for %q", ErrCorrupt, objectID)
+}
+
+// PublishAt stores obj under objectID on its owning peer directly (without
+// routing) and returns the owner. Routing-accounted publication is provided
+// by the query engine's Lookup.
+func (n *Network) PublishAt(objectID kautz.Str, obj Object) (kautz.Str, error) {
+	owner, err := n.OwnerOf(objectID)
+	if err != nil {
+		return "", err
+	}
+	n.peers[owner].addObject(objectID, obj)
+	return owner, nil
+}
+
+// OwnersIntersecting returns the identifiers of all peers whose region
+// intersects prefix·*: either the single peer whose identifier covers
+// prefix, or every peer whose identifier extends prefix. Results ascend.
+func (n *Network) OwnersIntersecting(prefix kautz.Str) []kautz.Str {
+	for l := 0; l <= len(prefix); l++ {
+		if _, ok := n.peers[prefix[:l]]; ok {
+			return []kautz.Str{prefix[:l]}
+		}
+	}
+	var out []kautz.Str
+	n.collectLeaves(prefix, &out)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (n *Network) collectLeaves(prefix kautz.Str, out *[]kautz.Str) {
+	if len(prefix) > n.k {
+		panic(fmt.Sprintf("fissione: namespace cover broken below %q", prefix))
+	}
+	if _, ok := n.peers[prefix]; ok {
+		*out = append(*out, prefix)
+		return
+	}
+	for _, c := range kautz.Extensions(prefix) {
+		n.collectLeaves(prefix+kautz.Str(c), out)
+	}
+}
+
+// computeOut derives id's out-neighbors from the current cover: the owners
+// of the shifted region id[1:]·*, excluding id itself.
+func (n *Network) computeOut(id kautz.Str) []kautz.Str {
+	owners := n.OwnersIntersecting(id.Drop(1))
+	out := owners[:0:0]
+	for _, o := range owners {
+		if o != id {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// computeIn derives id's in-neighbors: peers whose shifted region
+// intersects id's region, i.e. the owners intersecting α·id for each symbol
+// α ≠ id's first.
+func (n *Network) computeIn(id kautz.Str) []kautz.Str {
+	var in []kautz.Str
+	for _, a := range []byte(kautz.Alphabet) {
+		if a == id[0] {
+			continue
+		}
+		for _, o := range n.OwnersIntersecting(kautz.Str(a) + id) {
+			if o != id {
+				in = append(in, o)
+			}
+		}
+	}
+	sort.Slice(in, func(i, j int) bool { return in[i] < in[j] })
+	return in
+}
+
+// refreshTables recomputes the routing table of peer id.
+func (n *Network) refreshTables(id kautz.Str) {
+	p := n.peers[id]
+	p.out = n.computeOut(id)
+	p.in = n.computeIn(id)
+}
+
+// refreshAll recomputes routing tables for every identifier in set that
+// still names a peer.
+func (n *Network) refreshAll(set map[kautz.Str]struct{}) {
+	for id := range set {
+		if _, ok := n.peers[id]; ok {
+			n.refreshTables(id)
+		}
+	}
+}
+
+// neighborSet collects a peer's current neighbors (both directions) as a
+// set, seeded with the peer itself.
+func neighborSet(p *Peer) map[kautz.Str]struct{} {
+	set := make(map[kautz.Str]struct{}, len(p.out)+len(p.in)+1)
+	set[p.id] = struct{}{}
+	for _, id := range p.out {
+		set[id] = struct{}{}
+	}
+	for _, id := range p.in {
+		set[id] = struct{}{}
+	}
+	return set
+}
+
+// insertID adds id to the sorted identifier index.
+func (n *Network) insertID(id kautz.Str) {
+	i := sort.Search(len(n.ids), func(i int) bool { return n.ids[i] >= id })
+	n.ids = append(n.ids, "")
+	copy(n.ids[i+1:], n.ids[i:])
+	n.ids[i] = id
+}
+
+// removeID deletes id from the sorted identifier index.
+func (n *Network) removeID(id kautz.Str) {
+	i := sort.Search(len(n.ids), func(i int) bool { return n.ids[i] >= id })
+	if i < len(n.ids) && n.ids[i] == id {
+		n.ids = append(n.ids[:i], n.ids[i+1:]...)
+	}
+}

@@ -1,0 +1,154 @@
+// Package fissione implements the FISSIONE DHT overlay of Li, Lu and Wu
+// (INFOCOM 2005), the substrate on which Armada runs.
+//
+// FISSIONE organizes peers into an approximation of the Kautz graph K(2,k).
+// Peer identifiers are variable-length Kautz strings forming a prefix-free
+// cover of the namespace: every ObjectID (a Kautz string of fixed length k)
+// has exactly one peer whose PeerID is one of its prefixes, and that peer
+// stores the object. The overlay maintains FISSIONE's topology rules:
+//
+//   - Shift edges: peer U = u1u2...ub has an out-edge to every peer owning
+//     part of the namespace region u2...ub·*. Under the neighborhood
+//     invariant those peers have identifiers u2...ub·q with 0 ≤ |q| ≤ 2.
+//   - Neighborhood invariant: the identifier lengths of neighboring peers
+//     differ by at most one. Joins preserve it by walking to a local minimum
+//     of identifier length before splitting; graceful departures merge the
+//     departing peer's sibling when legal and otherwise relocate a peer
+//     freed by merging a globally deepest sibling pair.
+//
+// The package is a faithful, locally-routed simulator: every peer keeps its
+// own routing table (out- and in-neighbor lists) and query engines consult
+// only those tables; the global maps exist for construction, bookkeeping and
+// audits.
+package fissione
+
+import (
+	"fmt"
+	"sort"
+
+	"armada/internal/kautz"
+)
+
+// Object is a named item published on the DHT, carrying the attribute
+// values it was named by (one value for single-attribute naming, m values
+// for multi-attribute naming) — or no values for exact-match-only objects.
+type Object struct {
+	Name   string
+	Values []float64
+}
+
+// Peer is one FISSIONE node. Its routing table (out- and in-neighbors) is
+// maintained by the Network on joins and departures; query engines must
+// route using only these tables.
+type Peer struct {
+	id    kautz.Str
+	out   []kautz.Str
+	in    []kautz.Str
+	store map[kautz.Str][]Object
+}
+
+func newPeer(id kautz.Str) *Peer {
+	return &Peer{id: id, store: make(map[kautz.Str][]Object)}
+}
+
+// ID returns the peer's identifier.
+func (p *Peer) ID() kautz.Str { return p.id }
+
+// Out returns the peer's out-neighbor identifiers in ascending order. The
+// slice is owned by the peer and must not be modified.
+func (p *Peer) Out() []kautz.Str { return p.out }
+
+// In returns the peer's in-neighbor identifiers in ascending order. The
+// slice is owned by the peer and must not be modified.
+func (p *Peer) In() []kautz.Str { return p.in }
+
+// OutCopy returns a copy of the out-neighbor list.
+func (p *Peer) OutCopy() []kautz.Str { return append([]kautz.Str(nil), p.out...) }
+
+// InCopy returns a copy of the in-neighbor list.
+func (p *Peer) InCopy() []kautz.Str { return append([]kautz.Str(nil), p.in...) }
+
+// Degree returns the peer's out-degree.
+func (p *Peer) Degree() int { return len(p.out) }
+
+// addObject stores obj under objectID on this peer.
+func (p *Peer) addObject(objectID kautz.Str, obj Object) {
+	p.store[objectID] = append(p.store[objectID], obj)
+}
+
+// ObjectCount returns the number of objects stored on the peer.
+func (p *Peer) ObjectCount() int {
+	n := 0
+	for _, objs := range p.store {
+		n += len(objs)
+	}
+	return n
+}
+
+// ObjectsInRegion returns the objects whose ObjectIDs lie in the Kautz
+// region, together with their IDs, in ascending ObjectID order.
+func (p *Peer) ObjectsInRegion(r kautz.Region) []StoredObject {
+	var out []StoredObject
+	for id, objs := range p.store {
+		if !r.Contains(id) {
+			continue
+		}
+		for _, o := range objs {
+			out = append(out, StoredObject{ObjectID: id, Object: o})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ObjectID != out[j].ObjectID {
+			return out[i].ObjectID < out[j].ObjectID
+		}
+		return out[i].Object.Name < out[j].Object.Name
+	})
+	return out
+}
+
+// AllObjects returns every object stored on the peer in ascending ObjectID
+// order.
+func (p *Peer) AllObjects() []StoredObject {
+	var out []StoredObject
+	for id, objs := range p.store {
+		for _, o := range objs {
+			out = append(out, StoredObject{ObjectID: id, Object: o})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ObjectID != out[j].ObjectID {
+			return out[i].ObjectID < out[j].ObjectID
+		}
+		return out[i].Object.Name < out[j].Object.Name
+	})
+	return out
+}
+
+// moveObjectsWithPrefix moves every stored object whose ObjectID has the
+// given prefix from p to dst.
+func (p *Peer) moveObjectsWithPrefix(prefix kautz.Str, dst *Peer) {
+	for id, objs := range p.store {
+		if id.HasPrefix(prefix) {
+			dst.store[id] = append(dst.store[id], objs...)
+			delete(p.store, id)
+		}
+	}
+}
+
+// moveAllObjects moves the peer's whole store to dst.
+func (p *Peer) moveAllObjects(dst *Peer) {
+	for id, objs := range p.store {
+		dst.store[id] = append(dst.store[id], objs...)
+		delete(p.store, id)
+	}
+}
+
+// StoredObject pairs an object with the ObjectID it was published under.
+type StoredObject struct {
+	ObjectID kautz.Str
+	Object   Object
+}
+
+func (s StoredObject) String() string {
+	return fmt.Sprintf("%s@%s", s.Object.Name, s.ObjectID)
+}

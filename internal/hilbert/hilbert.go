@@ -1,0 +1,170 @@
+// Package hilbert implements the 2-d Hilbert space-filling curve used by
+// the DCF-CAN baseline (Andrzejak & Xu, P2P 2002) to map a one-dimensional
+// attribute space onto CAN's two-dimensional coordinate space while
+// preserving locality: consecutive curve indices are 4-adjacent cells, so a
+// contiguous index interval maps to a connected set of CAN zones.
+//
+// The curve has a fixed order: it visits the 2^order × 2^order grid of
+// cells over the unit square [0,1)². Index ↔ cell conversions use the
+// classic bit-interleaving construction; interval ↔ rectangle intersection
+// is decided by quadtree recursion rather than cell enumeration.
+package hilbert
+
+import "fmt"
+
+// Curve is a Hilbert curve of a fixed order over the unit square.
+type Curve struct {
+	order uint
+	side  uint32 // 2^order cells per side
+}
+
+// MaxOrder keeps indices within uint64 (2 bits per level).
+const MaxOrder = 31
+
+// New creates a curve of the given order (order ≥ 1).
+func New(order uint) (*Curve, error) {
+	if order < 1 || order > MaxOrder {
+		return nil, fmt.Errorf("hilbert: order %d out of range [1, %d]", order, MaxOrder)
+	}
+	return &Curve{order: order, side: 1 << order}, nil
+}
+
+// Order returns the curve's order.
+func (c *Curve) Order() uint { return c.order }
+
+// Cells returns the total number of cells, side².
+func (c *Curve) Cells() uint64 { return uint64(c.side) * uint64(c.side) }
+
+// IndexToCell maps a curve index to its cell coordinates.
+func (c *Curve) IndexToCell(d uint64) (x, y uint32) {
+	var rx, ry uint32
+	t := d
+	for s := uint32(1); s < c.side; s <<= 1 {
+		rx = uint32(t/2) & 1
+		ry = uint32(t^uint64(rx)) & 1
+		x, y = rot(s, x, y, rx, ry)
+		x += s * rx
+		y += s * ry
+		t /= 4
+	}
+	return x, y
+}
+
+// CellToIndex maps cell coordinates to the curve index visiting them.
+func (c *Curve) CellToIndex(x, y uint32) uint64 {
+	var d uint64
+	for s := c.side / 2; s > 0; s /= 2 {
+		var rx, ry uint32
+		if x&s > 0 {
+			rx = 1
+		}
+		if y&s > 0 {
+			ry = 1
+		}
+		d += uint64(s) * uint64(s) * uint64((3*rx)^ry)
+		x, y = rot(s, x, y, rx, ry)
+	}
+	return d
+}
+
+// rot rotates/flips a quadrant appropriately.
+func rot(s, x, y, rx, ry uint32) (uint32, uint32) {
+	if ry == 0 {
+		if rx == 1 {
+			x = s - 1 - x
+			y = s - 1 - y
+		}
+		x, y = y, x
+	}
+	return x, y
+}
+
+// ValueToPoint maps t ∈ [0,1] to the unit-square point at the center of the
+// cell visited at curve position t (t = 1 clamps to the last cell).
+func (c *Curve) ValueToPoint(t float64) (px, py float64) {
+	x, y := c.IndexToCell(c.ValueToIndex(t))
+	side := float64(c.side)
+	return (float64(x) + 0.5) / side, (float64(y) + 0.5) / side
+}
+
+// ValueToIndex maps t ∈ [0,1] to a curve index.
+func (c *Curve) ValueToIndex(t float64) uint64 {
+	if t <= 0 {
+		return 0
+	}
+	if t >= 1 {
+		return c.Cells() - 1
+	}
+	return uint64(t * float64(c.Cells()))
+}
+
+// Rect is an axis-aligned half-open rectangle [X0,X1)×[Y0,Y1) in the unit
+// square.
+type Rect struct {
+	X0, Y0, X1, Y1 float64
+}
+
+// ContainsPoint reports whether (x,y) lies in the rectangle.
+func (r Rect) ContainsPoint(x, y float64) bool {
+	return x >= r.X0 && x < r.X1 && y >= r.Y0 && y < r.Y1
+}
+
+// IntersectsSegment reports whether any curve index in [lo, hi] falls in a
+// cell whose center lies inside rect. It recurses over the curve's
+// quadtree: each quadrant of the square covers one contiguous quarter of
+// the index range, so subtrees disjoint from either the index interval or
+// the rectangle are pruned.
+func (c *Curve) IntersectsSegment(lo, hi uint64, rect Rect) bool {
+	if lo > hi {
+		return false
+	}
+	return c.intersect(0, c.Cells()-1, 0, 0, c.side, lo, hi, rect)
+}
+
+// intersect recurses over the quadtree node covering cells
+// [cx, cx+size) × [cy, cy+size) and curve indices [first, last].
+func (c *Curve) intersect(first, last uint64, cx, cy, size uint32, lo, hi uint64, rect Rect) bool {
+	if last < lo || first > hi {
+		return false
+	}
+	side := float64(c.side)
+	nx0, ny0 := float64(cx)/side, float64(cy)/side
+	nx1, ny1 := float64(cx+size)/side, float64(cy+size)/side
+	if nx1 <= rect.X0 || nx0 >= rect.X1 || ny1 <= rect.Y0 || ny0 >= rect.Y1 {
+		return false
+	}
+	if size == 1 {
+		// Leaf cell: decide by its center, matching ValueToPoint.
+		return rect.ContainsPoint(nx0+0.5/side, ny0+0.5/side)
+	}
+	if first >= lo && last <= hi && cellRangeInside(nx0, ny0, nx1, ny1, rect) {
+		// Node fully inside both the index interval and the rectangle.
+		return true
+	}
+	half := size / 2
+	quarter := (last - first + 1) / 4
+	for q := uint64(0); q < 4; q++ {
+		qFirst := first + q*quarter
+		qLast := qFirst + quarter - 1
+		// Identify which spatial quadrant holds this index quarter: probe
+		// the quarter's first cell.
+		px, py := c.IndexToCell(qFirst)
+		qx := cx
+		if px >= cx+half {
+			qx = cx + half
+		}
+		qy := cy
+		if py >= cy+half {
+			qy = cy + half
+		}
+		if c.intersect(qFirst, qLast, qx, qy, half, lo, hi, rect) {
+			return true
+		}
+	}
+	return false
+}
+
+// cellRangeInside reports whether the node square is entirely inside rect.
+func cellRangeInside(x0, y0, x1, y1 float64, rect Rect) bool {
+	return x0 >= rect.X0 && x1 <= rect.X1 && y0 >= rect.Y0 && y1 <= rect.Y1
+}

@@ -1,0 +1,177 @@
+package hilbert
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustCurve(t *testing.T, order uint) *Curve {
+	t.Helper()
+	c, err := New(order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("order 0 accepted")
+	}
+	if _, err := New(MaxOrder + 1); err == nil {
+		t.Error("excessive order accepted")
+	}
+	c := mustCurve(t, 4)
+	if c.Cells() != 256 || c.Order() != 4 {
+		t.Errorf("cells=%d order=%d", c.Cells(), c.Order())
+	}
+}
+
+func TestIndexCellRoundTripExhaustive(t *testing.T) {
+	c := mustCurve(t, 5)
+	seen := make(map[[2]uint32]bool, c.Cells())
+	for d := uint64(0); d < c.Cells(); d++ {
+		x, y := c.IndexToCell(d)
+		if x >= 32 || y >= 32 {
+			t.Fatalf("index %d maps outside grid: (%d,%d)", d, x, y)
+		}
+		if seen[[2]uint32{x, y}] {
+			t.Fatalf("cell (%d,%d) visited twice", x, y)
+		}
+		seen[[2]uint32{x, y}] = true
+		if back := c.CellToIndex(x, y); back != d {
+			t.Fatalf("CellToIndex(IndexToCell(%d)) = %d", d, back)
+		}
+	}
+	if uint64(len(seen)) != c.Cells() {
+		t.Fatalf("curve visited %d cells, want %d", len(seen), c.Cells())
+	}
+}
+
+// The defining property: consecutive indices are 4-adjacent cells.
+func TestCurveContinuity(t *testing.T) {
+	c := mustCurve(t, 6)
+	px, py := c.IndexToCell(0)
+	for d := uint64(1); d < c.Cells(); d++ {
+		x, y := c.IndexToCell(d)
+		dx, dy := absDiff(x, px), absDiff(y, py)
+		if dx+dy != 1 {
+			t.Fatalf("indices %d and %d are not adjacent: (%d,%d) -> (%d,%d)", d-1, d, px, py, x, y)
+		}
+		px, py = x, y
+	}
+}
+
+func absDiff(a, b uint32) uint32 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+func TestValueToIndexBounds(t *testing.T) {
+	c := mustCurve(t, 8)
+	if c.ValueToIndex(-0.5) != 0 {
+		t.Error("negative value should clamp to 0")
+	}
+	if c.ValueToIndex(0) != 0 {
+		t.Error("0 should map to 0")
+	}
+	if got := c.ValueToIndex(1); got != c.Cells()-1 {
+		t.Errorf("1 maps to %d, want last cell %d", got, c.Cells()-1)
+	}
+	if got := c.ValueToIndex(2); got != c.Cells()-1 {
+		t.Error("overflow value should clamp to last cell")
+	}
+}
+
+// ValueToIndex is monotone.
+func TestValueToIndexMonotoneQuick(t *testing.T) {
+	c := mustCurve(t, 10)
+	f := func(a, b float64) bool {
+		a, b = clamp01(a), clamp01(b)
+		if a > b {
+			a, b = b, a
+		}
+		return c.ValueToIndex(a) <= c.ValueToIndex(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func clamp01(v float64) float64 {
+	if v != v || v < 0 {
+		return 0
+	}
+	for v > 1 {
+		v /= 2
+	}
+	return v
+}
+
+func TestValueToPointInUnitSquare(t *testing.T) {
+	c := mustCurve(t, 9)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		x, y := c.ValueToPoint(rng.Float64())
+		if x < 0 || x >= 1 || y < 0 || y >= 1 {
+			t.Fatalf("point (%v,%v) outside unit square", x, y)
+		}
+	}
+}
+
+// IntersectsSegment agrees with brute-force cell enumeration.
+func TestIntersectsSegmentBruteForce(t *testing.T) {
+	c := mustCurve(t, 5) // 1024 cells: enumerable
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 300; trial++ {
+		lo := uint64(rng.Int63n(int64(c.Cells())))
+		hi := lo + uint64(rng.Int63n(int64(c.Cells()-lo)))
+		r := randRect(rng)
+		want := false
+		for d := lo; d <= hi; d++ {
+			x, y := c.IndexToCell(d)
+			side := float64(c.side)
+			if r.ContainsPoint((float64(x)+0.5)/side, (float64(y)+0.5)/side) {
+				want = true
+				break
+			}
+		}
+		if got := c.IntersectsSegment(lo, hi, r); got != want {
+			t.Fatalf("IntersectsSegment([%d,%d], %+v) = %v, want %v", lo, hi, r, got, want)
+		}
+	}
+}
+
+func TestIntersectsSegmentEmpty(t *testing.T) {
+	c := mustCurve(t, 5)
+	if c.IntersectsSegment(10, 5, Rect{X0: 0, Y0: 0, X1: 1, Y1: 1}) {
+		t.Error("inverted interval should not intersect")
+	}
+	if c.IntersectsSegment(0, c.Cells()-1, Rect{X0: 0.5, Y0: 0.5, X1: 0.5, Y1: 0.5}) {
+		t.Error("empty rectangle should not intersect")
+	}
+}
+
+func TestIntersectsSegmentFullCoverage(t *testing.T) {
+	c := mustCurve(t, 6)
+	full := Rect{X0: 0, Y0: 0, X1: 1, Y1: 1}
+	if !c.IntersectsSegment(0, 0, full) {
+		t.Error("single index against full square should intersect")
+	}
+	if !c.IntersectsSegment(0, c.Cells()-1, Rect{X0: 0.49, Y0: 0.49, X1: 0.51, Y1: 0.51}) {
+		t.Error("full curve should hit a central sliver")
+	}
+}
+
+func randRect(rng *rand.Rand) Rect {
+	x0, y0 := rng.Float64(), rng.Float64()
+	return Rect{
+		X0: x0,
+		Y0: y0,
+		X1: x0 + rng.Float64()*(1-x0),
+		Y1: y0 + rng.Float64()*(1-y0),
+	}
+}

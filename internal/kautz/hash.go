@@ -1,0 +1,71 @@
+package kautz
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// Hash implements Kautz_hash, FISSIONE's naming algorithm: it maps an
+// arbitrary object name to a near-uniform Kautz string of length k. The
+// first symbol consumes two bits of a SHA-256-derived stream (rejecting the
+// out-of-range value 3); each later symbol consumes one bit selecting
+// between the two symbols allowed after its predecessor. The construction is
+// deterministic and extends the bit stream in counter mode when exhausted.
+func Hash(name string, k int) Str {
+	if k <= 0 {
+		return ""
+	}
+	bits := newBitStream(name)
+	b := make([]byte, 0, k)
+	for {
+		v := bits.take(2)
+		if v < 3 {
+			b = append(b, byte('0'+v))
+			break
+		}
+	}
+	for len(b) < k {
+		bit := bits.take(1)
+		b = append(b, nextSymbols(b[len(b)-1])[bit])
+	}
+	return Str(b)
+}
+
+// bitStream yields bits from SHA-256(name || counter) blocks.
+type bitStream struct {
+	name    string
+	counter uint64
+	buf     []byte
+	bitPos  int
+}
+
+func newBitStream(name string) *bitStream {
+	s := &bitStream{name: name}
+	s.refill()
+	return s
+}
+
+func (s *bitStream) refill() {
+	var ctr [8]byte
+	binary.BigEndian.PutUint64(ctr[:], s.counter)
+	s.counter++
+	h := sha256.New()
+	h.Write([]byte(s.name))
+	h.Write(ctr[:])
+	s.buf = h.Sum(s.buf[:0])
+	s.bitPos = 0
+}
+
+// take returns the next n bits (n ≤ 8) as an integer.
+func (s *bitStream) take(n int) int {
+	v := 0
+	for i := 0; i < n; i++ {
+		if s.bitPos >= len(s.buf)*8 {
+			s.refill()
+		}
+		byteIdx, bitIdx := s.bitPos/8, uint(7-s.bitPos%8)
+		v = v<<1 | int(s.buf[byteIdx]>>bitIdx&1)
+		s.bitPos++
+	}
+	return v
+}

@@ -1,0 +1,315 @@
+// Package naming implements Armada's order-preserving object naming: the
+// partition tree P(2,k) of the paper's Section 4.1 and the two naming
+// algorithms built on it.
+//
+//   - Single_hash (one attribute) is an interval-preserving surjection from
+//     a real interval [L,H] onto KautzSpace(2,k): the image of any
+//     subinterval [a,b] is exactly the Kautz region ⟨F(a), F(b)⟩
+//     (Definition 2).
+//   - Multiple_hash (m attributes) partitions the multi-attribute space onto
+//     the same tree in round-robin attribute order and is partial-order
+//     preserving (Definitions 3–4): ω1 ≤ ω2 componentwise implies
+//     F(ω1) ≼ F(ω2).
+//
+// The partition tree has k+1 levels. Its root has three children; every
+// other internal node has two. Edge labels ascend left to right and differ
+// from the parent's incoming edge label, so leaf labels enumerate
+// KautzSpace(2,k) in ascending lexicographic order. Each node evenly splits
+// the subspace of its parent along one attribute: level j splits attribute
+// j mod m.
+package naming
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"armada/internal/kautz"
+)
+
+// Space is the value interval [Low, High] of one attribute.
+type Space struct {
+	Low  float64
+	High float64
+}
+
+// Width returns the length of the interval.
+func (s Space) Width() float64 { return s.High - s.Low }
+
+// Contains reports whether v lies in [Low, High].
+func (s Space) Contains(v float64) bool { return v >= s.Low && v <= s.High }
+
+// Interval is a subinterval of an attribute's space produced by the
+// partition tree. Intervals at the same tree level tile their space;
+// adjacent intervals share an endpoint.
+type Interval struct {
+	Low  float64
+	High float64
+}
+
+// Overlaps reports whether the closed intervals [i.Low,i.High] and [lo,hi]
+// intersect.
+func (i Interval) Overlaps(lo, hi float64) bool { return i.Low <= hi && lo <= i.High }
+
+// Errors returned by the naming tree.
+var (
+	ErrBadSpace  = errors.New("naming: attribute space must have Low < High")
+	ErrBadK      = errors.New("naming: k must be in [1, 62]")
+	ErrArity     = errors.New("naming: wrong number of attribute values")
+	ErrNotFinite = errors.New("naming: attribute value must be finite")
+)
+
+// Tree is a partition tree P(2,k) over m ≥ 1 attribute spaces. A Tree is
+// immutable and safe for concurrent use.
+type Tree struct {
+	k      int
+	spaces []Space
+}
+
+// NewTree builds a partition tree of depth k over the given attribute
+// spaces (one Space per attribute, in attribute order A0, A1, ...).
+func NewTree(k int, spaces ...Space) (*Tree, error) {
+	if k < 1 || k > kautz.MaxRankLen {
+		return nil, fmt.Errorf("%w: k=%d", ErrBadK, k)
+	}
+	if len(spaces) == 0 {
+		return nil, fmt.Errorf("%w: no attributes", ErrArity)
+	}
+	for i, s := range spaces {
+		if !(s.Low < s.High) || math.IsInf(s.Low, 0) || math.IsInf(s.High, 0) ||
+			math.IsNaN(s.Low) || math.IsNaN(s.High) {
+			return nil, fmt.Errorf("%w: attribute %d: [%v, %v]", ErrBadSpace, i, s.Low, s.High)
+		}
+	}
+	cp := make([]Space, len(spaces))
+	copy(cp, spaces)
+	return &Tree{k: k, spaces: cp}, nil
+}
+
+// NewSingleTree builds the single-attribute tree used by Single_hash.
+func NewSingleTree(k int, low, high float64) (*Tree, error) {
+	return NewTree(k, Space{Low: low, High: high})
+}
+
+// K returns the depth of the tree, which is also the ObjectID length.
+func (t *Tree) K() int { return t.k }
+
+// Attrs returns the number of attributes m.
+func (t *Tree) Attrs() int { return len(t.spaces) }
+
+// Spaces returns a copy of the attribute spaces.
+func (t *Tree) Spaces() []Space {
+	cp := make([]Space, len(t.spaces))
+	copy(cp, t.spaces)
+	return cp
+}
+
+// fanout returns the number of children of a node at level j (edges from the
+// root are level 0).
+func fanout(j int) int {
+	if j == 0 {
+		return 3
+	}
+	return 2
+}
+
+// childSymbols returns the edge labels under a node whose incoming edge is
+// prev (0 at the root), ascending.
+func childSymbols(prev byte) []byte {
+	switch prev {
+	case 0:
+		return []byte{'0', '1', '2'}
+	case '0':
+		return []byte{'1', '2'}
+	case '1':
+		return []byte{'0', '2'}
+	default:
+		return []byte{'0', '1'}
+	}
+}
+
+// Hash maps an m-attribute value to its ObjectID: the label of the leaf
+// whose subspace contains it. This is Single_hash for m = 1 and
+// Multiple_hash otherwise. Values are clamped to their attribute spaces;
+// non-finite values are rejected.
+func (t *Tree) Hash(values ...float64) (kautz.Str, error) {
+	if len(values) != len(t.spaces) {
+		return "", fmt.Errorf("%w: got %d, want %d", ErrArity, len(values), len(t.spaces))
+	}
+	lo := make([]float64, len(values))
+	hi := make([]float64, len(values))
+	v := make([]float64, len(values))
+	for i, s := range t.spaces {
+		if math.IsNaN(values[i]) || math.IsInf(values[i], 0) {
+			return "", fmt.Errorf("%w: attribute %d: %v", ErrNotFinite, i, values[i])
+		}
+		lo[i], hi[i] = s.Low, s.High
+		v[i] = math.Min(math.Max(values[i], s.Low), s.High)
+	}
+	label := make([]byte, 0, t.k)
+	var prev byte
+	for j := 0; j < t.k; j++ {
+		attr := j % len(t.spaces)
+		f := fanout(j)
+		idx := pieceIndex(v[attr], lo[attr], hi[attr], f)
+		lo[attr], hi[attr] = pieceBounds(lo[attr], hi[attr], f, idx)
+		c := childSymbols(prev)[idx]
+		label = append(label, c)
+		prev = c
+	}
+	return kautz.Str(label), nil
+}
+
+// pieceIndex returns which of f equal pieces of [lo,hi] contains v, with the
+// final piece closed at hi.
+func pieceIndex(v, lo, hi float64, f int) int {
+	if hi <= lo {
+		return 0
+	}
+	idx := int(float64(f) * (v - lo) / (hi - lo))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx > f-1 {
+		idx = f - 1
+	}
+	return idx
+}
+
+// pieceBounds returns the bounds of piece idx of [lo,hi] split into f equal
+// pieces.
+func pieceBounds(lo, hi float64, f, idx int) (float64, float64) {
+	w := (hi - lo) / float64(f)
+	newLo := lo + w*float64(idx)
+	newHi := newLo + w
+	if idx == f-1 {
+		newHi = hi
+	}
+	return newLo, newHi
+}
+
+// Subspace returns, for each attribute, the interval represented by the
+// partition tree node labelled prefix. The empty prefix denotes the root
+// (the full space). Any valid Kautz string of length ≤ k is a valid node
+// label.
+func (t *Tree) Subspace(prefix kautz.Str) ([]Interval, error) {
+	if len(prefix) > t.k {
+		return nil, fmt.Errorf("%w: prefix %q longer than k=%d", ErrBadK, prefix, t.k)
+	}
+	if !kautz.Valid(prefix) {
+		return nil, fmt.Errorf("naming: %q is not a Kautz string", prefix)
+	}
+	iv := make([]Interval, len(t.spaces))
+	for i, s := range t.spaces {
+		iv[i] = Interval{Low: s.Low, High: s.High}
+	}
+	var prev byte
+	for j := 0; j < len(prefix); j++ {
+		attr := j % len(t.spaces)
+		f := fanout(j)
+		idx := symbolIndex(childSymbols(prev), prefix[j])
+		if idx < 0 {
+			return nil, fmt.Errorf("naming: %q is not a partition tree path", prefix)
+		}
+		iv[attr].Low, iv[attr].High = pieceBounds(iv[attr].Low, iv[attr].High, f, idx)
+		prev = prefix[j]
+	}
+	return iv, nil
+}
+
+func symbolIndex(symbols []byte, c byte) int {
+	for i, s := range symbols {
+		if s == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// Box is an axis-aligned multi-attribute range query
+// ⟨[Lo[0],Hi[0]], ..., [Lo[m-1],Hi[m-1]]⟩.
+type Box struct {
+	Lo []float64
+	Hi []float64
+}
+
+// NewBox validates the query bounds against the tree's arity and spaces
+// (bounds are clamped to each attribute space).
+func (t *Tree) NewBox(lo, hi []float64) (Box, error) {
+	if len(lo) != len(t.spaces) || len(hi) != len(t.spaces) {
+		return Box{}, fmt.Errorf("%w: got %d/%d bounds, want %d", ErrArity, len(lo), len(hi), len(t.spaces))
+	}
+	b := Box{Lo: make([]float64, len(lo)), Hi: make([]float64, len(hi))}
+	for i := range lo {
+		if math.IsNaN(lo[i]) || math.IsNaN(hi[i]) {
+			return Box{}, fmt.Errorf("%w: attribute %d", ErrNotFinite, i)
+		}
+		if lo[i] > hi[i] {
+			return Box{}, fmt.Errorf("naming: attribute %d: query low %v above high %v", i, lo[i], hi[i])
+		}
+		b.Lo[i] = math.Min(math.Max(lo[i], t.spaces[i].Low), t.spaces[i].High)
+		b.Hi[i] = math.Min(math.Max(hi[i], t.spaces[i].Low), t.spaces[i].High)
+	}
+	return b, nil
+}
+
+// Contains reports whether the m-attribute point v lies in the box.
+func (b Box) Contains(v []float64) bool {
+	for i := range b.Lo {
+		if v[i] < b.Lo[i] || v[i] > b.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IntersectsPrefix reports whether the subspace of the partition tree node
+// labelled prefix intersects the box. This is MIRA's pruning predicate: a
+// branch of the forward routing tree is descended only while some leaf under
+// it can hold matching objects.
+func (t *Tree) IntersectsPrefix(prefix kautz.Str, b Box) (bool, error) {
+	iv, err := t.Subspace(prefix)
+	if err != nil {
+		return false, err
+	}
+	for i := range iv {
+		if !iv[i].Overlaps(b.Lo[i], b.Hi[i]) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// QueryRegion maps a range query to the Kautz region ⟨LowT, HighT⟩ where
+// LowT = Hash(box.Lo) and HighT = Hash(box.Hi). For a single attribute the
+// region is exactly the query's image (interval preservation); for multiple
+// attributes it is a superset of the matching leaves, which MIRA narrows
+// with IntersectsPrefix.
+func (t *Tree) QueryRegion(b Box) (kautz.Region, error) {
+	lowT, err := t.Hash(b.Lo...)
+	if err != nil {
+		return kautz.Region{}, err
+	}
+	highT, err := t.Hash(b.Hi...)
+	if err != nil {
+		return kautz.Region{}, err
+	}
+	return kautz.NewRegion(lowT, highT)
+}
+
+// LeafCenter returns the center point of the leaf labelled by the full
+// length-k Kautz string s: a representative value that hashes back to s.
+func (t *Tree) LeafCenter(s kautz.Str) ([]float64, error) {
+	if len(s) != t.k {
+		return nil, fmt.Errorf("naming: leaf label %q has length %d, want %d", s, len(s), t.k)
+	}
+	iv, err := t.Subspace(s)
+	if err != nil {
+		return nil, err
+	}
+	center := make([]float64, len(iv))
+	for i := range iv {
+		center[i] = iv[i].Low + (iv[i].High-iv[i].Low)/2
+	}
+	return center, nil
+}

@@ -1,0 +1,149 @@
+package pht
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"armada/internal/core"
+	"armada/internal/fissione"
+)
+
+func buildTree(t *testing.T, peers int, seed int64) *Tree {
+	t.Helper()
+	net, err := fissione.BuildRandom(24, peers, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.New(net, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := New(eng, 16, 4, 0, 1000, seed+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func TestNewValidation(t *testing.T) {
+	net, err := fissione.New(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.New(net, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(eng, 0, 4, 0, 1, 1); err == nil {
+		t.Error("bits=0 accepted")
+	}
+	if _, err := New(eng, 40, 4, 0, 1, 1); err == nil {
+		t.Error("bits=40 accepted")
+	}
+	if _, err := New(eng, 16, 0, 0, 1, 1); err == nil {
+		t.Error("block=0 accepted")
+	}
+	if _, err := New(eng, 16, 4, 1, 1, 1); err == nil {
+		t.Error("empty space accepted")
+	}
+}
+
+func TestInsertSplitsLeaves(t *testing.T) {
+	tree := buildTree(t, 40, 3)
+	for i := 0; i < 50; i++ {
+		tree.Insert(name(i), float64(i)*20)
+	}
+	if tree.NodeCount() < 3 {
+		t.Fatalf("tree did not split: %d nodes for 50 keys with block 4", tree.NodeCount())
+	}
+}
+
+func TestRangeQueryCompleteness(t *testing.T) {
+	tree := buildTree(t, 60, 5)
+	rng := rand.New(rand.NewSource(6))
+	values := make([]float64, 300)
+	for i := range values {
+		values[i] = rng.Float64() * 1000
+		tree.Insert(name(i), values[i])
+	}
+	for trial := 0; trial < 30; trial++ {
+		lo := rng.Float64() * 1000
+		hi := lo + rng.Float64()*(1000-lo)
+		res, err := tree.RangeQuery(lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		for _, v := range values {
+			if v >= lo && v <= hi {
+				want++
+			}
+		}
+		if len(res.Matches) != want {
+			t.Fatalf("[%f,%f]: %d matches, want %d", lo, hi, len(res.Matches), want)
+		}
+	}
+}
+
+func TestRangeQueryValidation(t *testing.T) {
+	tree := buildTree(t, 20, 7)
+	if _, err := tree.RangeQuery(5, 1); err == nil {
+		t.Error("inverted range accepted")
+	}
+}
+
+// PHT's range-query delay is a multiple of the DHT's routing delay — far
+// above Armada's bounded delay on the same network (Table 1's contrast).
+func TestDelayExceedsDHTRouting(t *testing.T) {
+	tree := buildTree(t, 400, 9)
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < 500; i++ {
+		tree.Insert(name(i), rng.Float64()*1000)
+	}
+	logN := math.Log2(400)
+	total := 0.0
+	const trials = 25
+	for i := 0; i < trials; i++ {
+		lo := rng.Float64() * 800
+		res, err := tree.RangeQuery(lo, lo+100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += float64(res.Stats.Delay)
+	}
+	if avg := total / trials; avg < logN {
+		t.Errorf("PHT avg delay %.1f below logN %.1f — should cost multiple DHT routings", avg, logN)
+	}
+}
+
+func TestKeyDiscretization(t *testing.T) {
+	tree := buildTree(t, 20, 11)
+	if tree.keyOf(-5) != 0 {
+		t.Error("below-range value should clamp to 0")
+	}
+	if got, want := tree.keyOf(2000), uint32(1<<16-1); got != want {
+		t.Errorf("above-range key = %d, want %d", got, want)
+	}
+	if tree.keyOf(0) >= tree.keyOf(500) || tree.keyOf(500) >= tree.keyOf(1000) {
+		t.Error("keyOf not monotone")
+	}
+}
+
+func TestPrefixIntersects(t *testing.T) {
+	tree := buildTree(t, 20, 13)
+	// Prefix "1" covers the upper half of the key space.
+	if !tree.prefixIntersects("1", tree.keyOf(600), tree.keyOf(900)) {
+		t.Error("upper prefix should intersect upper range")
+	}
+	if tree.prefixIntersects("1", tree.keyOf(0), tree.keyOf(400)) {
+		t.Error("upper prefix should not intersect lower range")
+	}
+	if !tree.prefixIntersects("", tree.keyOf(1), tree.keyOf(2)) {
+		t.Error("root intersects everything")
+	}
+}
+
+func name(i int) string {
+	return "k" + string(rune('a'+i%26)) + string(rune('0'+i/26%10)) + string(rune('0'+i%10))
+}

@@ -1,0 +1,242 @@
+// Package simnet provides the message-passing engines that drive query
+// simulations. A query is a set of seed messages plus a handler that, given
+// a delivered message, returns the messages to forward next. The engine
+// tracks the paper's two cost metrics:
+//
+//   - Delay: the largest hop depth at which any message is delivered (the
+//     time until the last destination peer has been reached).
+//   - Messages: the number of overlay messages sent (seed messages are local
+//     computation at the issuer and are not counted).
+//
+// Two engines share the same handler contract. RunSync is deterministic and
+// single-threaded; it is the engine used for experiments. RunAsync executes
+// the same query with one goroutine per peer exchanging messages through
+// mailboxes, demonstrating that the algorithms are genuinely local and
+// concurrent; its handler must be safe for concurrent use.
+package simnet
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Message is one overlay message addressed to a peer. Depth is assigned by
+// the engine: seeds are at depth 0 and every forward is one deeper than the
+// message that produced it.
+type Message struct {
+	To      string
+	Depth   int
+	Payload any
+}
+
+// Handler processes a delivered message at its destination and returns the
+// messages to forward. Returned messages must have To and Payload set;
+// Depth is ignored and reassigned by the engine.
+type Handler func(m Message) []Message
+
+// Metrics are the cost counters of one simulated query.
+type Metrics struct {
+	Delay    int
+	Messages int
+}
+
+// merge folds another query's metrics into m (delays take the max, message
+// counts add), used when a query is executed as several subqueries.
+func (m *Metrics) merge(o Metrics) {
+	if o.Delay > m.Delay {
+		m.Delay = o.Delay
+	}
+	m.Messages += o.Messages
+}
+
+// RunSync executes the query breadth-first in a single goroutine. Messages
+// at equal depth are processed in insertion order, so a deterministic
+// handler yields a deterministic trace.
+func RunSync(seeds []Message, handle Handler) Metrics {
+	var metrics Metrics
+	queue := make([]Message, 0, len(seeds))
+	for _, s := range seeds {
+		s.Depth = 0
+		queue = append(queue, s)
+	}
+	for len(queue) > 0 {
+		m := queue[0]
+		queue = queue[1:]
+		if m.Depth > metrics.Delay {
+			metrics.Delay = m.Depth
+		}
+		if m.Depth >= 1 {
+			metrics.Messages++
+		}
+		for _, f := range handle(m) {
+			f.Depth = m.Depth + 1
+			queue = append(queue, f)
+		}
+	}
+	return metrics
+}
+
+// RunAsync executes the query with one goroutine per participating peer.
+// Peers exchange messages through unbounded mailboxes (an actor-style
+// overlay), and termination is detected by counting outstanding messages:
+// processing a message removes it and adds its forwards, so the query is
+// complete when the counter returns to zero. The handler runs concurrently
+// on many goroutines and must synchronize its own state.
+//
+// peerIDs must contain every address the query can reach. The returned
+// metrics equal RunSync's for the same query.
+func RunAsync(peerIDs []string, seeds []Message, handle Handler) Metrics {
+	boxes := make(map[string]*mailbox, len(peerIDs))
+	for _, id := range peerIDs {
+		boxes[id] = newMailbox()
+	}
+
+	var (
+		outstanding atomic.Int64
+		delay       atomic.Int64
+		messages    atomic.Int64
+		wg          sync.WaitGroup
+	)
+	outstanding.Store(int64(len(seeds)))
+
+	closeAll := func() {
+		for _, b := range boxes {
+			b.close()
+		}
+	}
+
+	for _, b := range boxes {
+		wg.Add(1)
+		go func(b *mailbox) {
+			defer wg.Done()
+			for {
+				m, ok := b.pop()
+				if !ok {
+					return
+				}
+				if d := int64(m.Depth); d > delay.Load() {
+					// Lossy max is fine: we re-check under CAS.
+					for {
+						cur := delay.Load()
+						if d <= cur || delay.CompareAndSwap(cur, d) {
+							break
+						}
+					}
+				}
+				if m.Depth >= 1 {
+					messages.Add(1)
+				}
+				fwd := handle(m)
+				for _, f := range fwd {
+					f.Depth = m.Depth + 1
+					dst, ok := boxes[f.To]
+					if !ok {
+						panic("simnet: forward to unknown peer " + f.To)
+					}
+					outstanding.Add(1)
+					dst.push(f)
+				}
+				if outstanding.Add(-1) == 0 {
+					closeAll()
+					return
+				}
+			}
+		}(b)
+	}
+
+	if len(seeds) == 0 {
+		closeAll()
+	}
+	for _, s := range seeds {
+		s.Depth = 0
+		dst, ok := boxes[s.To]
+		if !ok {
+			panic("simnet: seed to unknown peer " + s.To)
+		}
+		dst.push(s)
+	}
+	wg.Wait()
+	return Metrics{Delay: int(delay.Load()), Messages: int(messages.Load())}
+}
+
+// mailbox is an unbounded FIFO queue with blocking pop. Unboundedness
+// matters: peers both send and receive, so bounded channels could deadlock
+// on cyclic sends.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []Message
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	b := &mailbox{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *mailbox) push(m Message) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.queue = append(b.queue, m)
+	b.cond.Signal()
+}
+
+func (b *mailbox) pop() (Message, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for len(b.queue) == 0 && !b.closed {
+		b.cond.Wait()
+	}
+	if len(b.queue) == 0 {
+		return Message{}, false
+	}
+	m := b.queue[0]
+	b.queue = b.queue[1:]
+	return m, true
+}
+
+func (b *mailbox) close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.closed = true
+	b.cond.Broadcast()
+}
+
+// Collector accumulates per-query observations from handlers that may run
+// concurrently. The zero value is ready to use.
+type Collector struct {
+	mu    sync.Mutex
+	dests []string
+}
+
+// Deliver records a destination peer.
+func (c *Collector) Deliver(peer string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.dests = append(c.dests, peer)
+}
+
+// Destinations returns the recorded destinations, sorted.
+func (c *Collector) Destinations() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := append([]string(nil), c.dests...)
+	sort.Strings(out)
+	return out
+}
+
+// MergeMetrics combines per-subquery metrics into a single query metric:
+// subqueries run in parallel, so delays take the maximum while message
+// counts add.
+func MergeMetrics(parts ...Metrics) Metrics {
+	var m Metrics
+	for _, p := range parts {
+		m.merge(p)
+	}
+	return m
+}

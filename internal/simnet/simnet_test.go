@@ -1,0 +1,191 @@
+package simnet
+
+import (
+	"strconv"
+	"sync"
+	"testing"
+)
+
+// chainHandler forwards along a fixed chain of peers p0 -> p1 -> ... -> pN.
+func chainHandler(n int) Handler {
+	return func(m Message) []Message {
+		i := m.Payload.(int)
+		if i >= n {
+			return nil
+		}
+		return []Message{{To: "p" + strconv.Itoa(i+1), Payload: i + 1}}
+	}
+}
+
+func chainPeers(n int) []string {
+	ids := make([]string, n+1)
+	for i := range ids {
+		ids[i] = "p" + strconv.Itoa(i)
+	}
+	return ids
+}
+
+func TestRunSyncChain(t *testing.T) {
+	m := RunSync([]Message{{To: "p0", Payload: 0}}, chainHandler(5))
+	if m.Delay != 5 || m.Messages != 5 {
+		t.Fatalf("chain metrics = %+v, want delay 5 messages 5", m)
+	}
+}
+
+func TestRunSyncSeedOnly(t *testing.T) {
+	m := RunSync([]Message{{To: "a", Payload: nil}}, func(Message) []Message { return nil })
+	if m.Delay != 0 || m.Messages != 0 {
+		t.Fatalf("seed-only metrics = %+v, want zeros", m)
+	}
+}
+
+func TestRunSyncFanout(t *testing.T) {
+	// One seed fans out to 3 peers, each of which fans out to 2 more.
+	handle := func(m Message) []Message {
+		switch m.Payload.(int) {
+		case 0:
+			return []Message{{To: "a", Payload: 1}, {To: "b", Payload: 1}, {To: "c", Payload: 1}}
+		case 1:
+			return []Message{{To: "x", Payload: 2}, {To: "y", Payload: 2}}
+		default:
+			return nil
+		}
+	}
+	m := RunSync([]Message{{To: "root", Payload: 0}}, handle)
+	if m.Delay != 2 || m.Messages != 9 {
+		t.Fatalf("fanout metrics = %+v, want delay 2 messages 9", m)
+	}
+}
+
+func TestRunSyncMultipleSeeds(t *testing.T) {
+	m := RunSync([]Message{
+		{To: "p0", Payload: 3}, // short chain: 2 hops
+		{To: "p0", Payload: 0}, // full chain: 5 hops
+	}, chainHandler(5))
+	if m.Delay != 5 || m.Messages != 7 {
+		t.Fatalf("multi-seed metrics = %+v, want delay 5 messages 7", m)
+	}
+}
+
+func TestRunSyncDeterministicOrder(t *testing.T) {
+	var trace []string
+	handle := func(m Message) []Message {
+		trace = append(trace, m.To)
+		if m.To == "root" {
+			return []Message{{To: "a"}, {To: "b"}}
+		}
+		if m.To == "a" {
+			return []Message{{To: "c"}}
+		}
+		return nil
+	}
+	RunSync([]Message{{To: "root"}}, handle)
+	want := []string{"root", "a", "b", "c"}
+	if len(trace) != len(want) {
+		t.Fatalf("trace = %v", trace)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v (BFS order)", trace, want)
+		}
+	}
+}
+
+func TestRunAsyncMatchesSyncChain(t *testing.T) {
+	sync := RunSync([]Message{{To: "p0", Payload: 0}}, chainHandler(20))
+	async := RunAsync(chainPeers(20), []Message{{To: "p0", Payload: 0}}, chainHandler(20))
+	if sync != async {
+		t.Fatalf("async %+v != sync %+v", async, sync)
+	}
+}
+
+func TestRunAsyncFanoutCounts(t *testing.T) {
+	// Binary fanout of depth 8 over a peer per (level, index) address.
+	peers := []string{"seed"}
+	for d := 1; d <= 8; d++ {
+		for i := 0; i < 1<<d; i++ {
+			peers = append(peers, addr(d, i))
+		}
+	}
+	type pos struct{ d, i int }
+	handle := func(m Message) []Message {
+		p := m.Payload.(pos)
+		if p.d == 8 {
+			return nil
+		}
+		return []Message{
+			{To: addr(p.d+1, p.i*2), Payload: pos{p.d + 1, p.i * 2}},
+			{To: addr(p.d+1, p.i*2+1), Payload: pos{p.d + 1, p.i*2 + 1}},
+		}
+	}
+	m := RunAsync(peers, []Message{{To: "seed", Payload: pos{0, 0}}}, handle)
+	wantMsgs := 0
+	for d := 1; d <= 8; d++ {
+		wantMsgs += 1 << d
+	}
+	if m.Delay != 8 || m.Messages != wantMsgs {
+		t.Fatalf("async fanout = %+v, want delay 8 messages %d", m, wantMsgs)
+	}
+}
+
+func TestRunAsyncNoSeeds(t *testing.T) {
+	m := RunAsync([]string{"a", "b"}, nil, func(Message) []Message { return nil })
+	if m.Delay != 0 || m.Messages != 0 {
+		t.Fatalf("empty async = %+v", m)
+	}
+}
+
+func TestRunAsyncConcurrentHandlerSafety(t *testing.T) {
+	// A handler with shared state protected by a mutex: every peer pings a
+	// central accumulator through forwards.
+	var (
+		mu    sync.Mutex
+		count int
+	)
+	peers := chainPeers(50)
+	handle := func(m Message) []Message {
+		mu.Lock()
+		count++
+		mu.Unlock()
+		i := m.Payload.(int)
+		if i >= 50 {
+			return nil
+		}
+		return []Message{{To: peers[i+1], Payload: i + 1}}
+	}
+	RunAsync(peers, []Message{{To: "p0", Payload: 0}}, handle)
+	if count != 51 {
+		t.Fatalf("handler ran %d times, want 51", count)
+	}
+}
+
+func addr(d, i int) string { return "n" + strconv.Itoa(d) + "_" + strconv.Itoa(i) }
+
+func TestMergeMetrics(t *testing.T) {
+	m := MergeMetrics(Metrics{Delay: 3, Messages: 10}, Metrics{Delay: 5, Messages: 2}, Metrics{})
+	if m.Delay != 5 || m.Messages != 12 {
+		t.Fatalf("MergeMetrics = %+v", m)
+	}
+}
+
+func TestCollector(t *testing.T) {
+	var c Collector
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c.Deliver(strconv.Itoa(i % 5))
+		}(i)
+	}
+	wg.Wait()
+	d := c.Destinations()
+	if len(d) != 20 {
+		t.Fatalf("collector recorded %d, want 20", len(d))
+	}
+	for i := 1; i < len(d); i++ {
+		if d[i-1] > d[i] {
+			t.Fatal("destinations not sorted")
+		}
+	}
+}

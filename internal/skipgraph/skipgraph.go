@@ -1,0 +1,283 @@
+// Package skipgraph implements a Skip Graph (Aspnes & Shah, SODA 2003) —
+// the O(logN)-degree structure the Armada paper's Table 1 compares against.
+// Skip Graphs support single-attribute range queries natively: nodes are
+// totally ordered by key, and level-0 links form a sorted doubly linked
+// list, so a query routes to the range's low end in O(logN) hops and then
+// sweeps right, giving O(logN + n) delay — dependent on the answer size n,
+// i.e. *not* delay-bounded.
+//
+// Each node draws a random membership vector; at level i a node links to
+// the nearest node in each direction sharing its first i membership bits.
+// The expected number of non-trivial levels is log₂N and the expected
+// degree O(logN).
+package skipgraph
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Errors returned by the graph.
+var (
+	ErrEmpty    = errors.New("skipgraph: graph has no nodes")
+	ErrBadRange = errors.New("skipgraph: query low bound above high bound")
+	ErrNoNode   = errors.New("skipgraph: no such node")
+)
+
+// maxLevels bounds membership vectors; 64 supports any practical size.
+const maxLevels = 64
+
+// Item is an object stored on a node by the range-query layer.
+type Item struct {
+	Name  string
+	Value float64
+}
+
+// node is one Skip Graph participant.
+type node struct {
+	key    float64
+	vector uint64
+	// left[i] and right[i] are neighbor indexes at level i (-1 when none).
+	left  []int
+	right []int
+	items []Item
+}
+
+// Graph is a Skip Graph over float64 keys. It is immutable after Build and
+// safe for concurrent queries.
+type Graph struct {
+	nodes  []*node // sorted by key
+	levels int
+}
+
+// Build creates a Skip Graph of n nodes with distinct uniformly random keys
+// in [low, high).
+func Build(n int, low, high float64, seed int64) (*Graph, error) {
+	if n < 1 {
+		return nil, ErrEmpty
+	}
+	if !(low < high) {
+		return nil, fmt.Errorf("skipgraph: key space [%v, %v] empty", low, high)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	keys := make(map[float64]bool, n)
+	g := &Graph{nodes: make([]*node, 0, n)}
+	for len(g.nodes) < n {
+		k := low + rng.Float64()*(high-low)
+		if keys[k] {
+			continue
+		}
+		keys[k] = true
+		g.nodes = append(g.nodes, &node{key: k, vector: rng.Uint64()})
+	}
+	sort.Slice(g.nodes, func(i, j int) bool { return g.nodes[i].key < g.nodes[j].key })
+	g.link()
+	return g, nil
+}
+
+// link wires left/right neighbors at every level: at level l, neighbors are
+// the nearest nodes (in key order) sharing the first l membership bits.
+// Linking stops at the first level where every node is isolated.
+func (g *Graph) link() {
+	n := len(g.nodes)
+	for _, nd := range g.nodes {
+		nd.left = nd.left[:0]
+		nd.right = nd.right[:0]
+	}
+	for level := 0; level < maxLevels; level++ {
+		mask := uint64(0)
+		if level > 0 {
+			mask = ^uint64(0) >> uint(64-level)
+		}
+		// prev[v] is the index of the last node seen with prefix v.
+		prev := make(map[uint64]int, n)
+		linked := false
+		for i, nd := range g.nodes {
+			v := nd.vector & mask
+			nd.left = append(nd.left, -1)
+			nd.right = append(nd.right, -1)
+			if j, ok := prev[v]; ok {
+				nd.left[level] = j
+				g.nodes[j].right[level] = i
+				linked = true
+			}
+			prev[v] = i
+		}
+		g.levels = level + 1
+		if !linked {
+			break
+		}
+	}
+}
+
+// Size returns the number of nodes.
+func (g *Graph) Size() int { return len(g.nodes) }
+
+// Levels returns the number of constructed levels (≈ log₂N + 1).
+func (g *Graph) Levels() int { return g.levels }
+
+// AvgDegree returns the mean number of distinct neighbors per node.
+func (g *Graph) AvgDegree() float64 {
+	total := 0
+	for _, nd := range g.nodes {
+		seen := make(map[int]bool)
+		for l := 0; l < len(nd.left); l++ {
+			if nd.left[l] >= 0 {
+				seen[nd.left[l]] = true
+			}
+			if nd.right[l] >= 0 {
+				seen[nd.right[l]] = true
+			}
+		}
+		total += len(seen)
+	}
+	return float64(total) / float64(len(g.nodes))
+}
+
+// RandomNode returns a uniformly random node index.
+func (g *Graph) RandomNode(rng *rand.Rand) int { return rng.Intn(len(g.nodes)) }
+
+// Publish stores an object on the node owning value: the node with the
+// largest key ≤ value (the first node for smaller values). It returns the
+// node index.
+func (g *Graph) Publish(name string, value float64) int {
+	i := g.ownerIndex(value)
+	g.nodes[i].items = append(g.nodes[i].items, Item{Name: name, Value: value})
+	return i
+}
+
+// ownerIndex returns the index of the node with the largest key ≤ v, or 0.
+func (g *Graph) ownerIndex(v float64) int {
+	i := sort.Search(len(g.nodes), func(i int) bool { return g.nodes[i].key > v })
+	if i == 0 {
+		return 0
+	}
+	return i - 1
+}
+
+// Stats are the cost metrics of one Skip Graph query.
+type Stats struct {
+	// Delay is the total hop count: the O(logN) descent to the range's low
+	// end plus the level-0 sweep across it (sequential, so delay equals
+	// messages).
+	Delay int
+	// SearchHops is the descent's share of Delay.
+	SearchHops int
+	// Messages equals Delay (every hop is one message).
+	Messages int
+	// DestNodes is the number of nodes intersecting the range.
+	DestNodes int
+}
+
+// Match is one object satisfying a range query.
+type Match struct {
+	Name  string
+	Value float64
+}
+
+// Result is the outcome of a range query.
+type Result struct {
+	Matches []Match
+	Stats   Stats
+}
+
+// RangeQuery searches [lo, hi] starting from the node with index start.
+func (g *Graph) RangeQuery(start int, lo, hi float64) (*Result, error) {
+	if start < 0 || start >= len(g.nodes) {
+		return nil, fmt.Errorf("%w: index %d", ErrNoNode, start)
+	}
+	if lo > hi {
+		return nil, fmt.Errorf("%w: [%v, %v]", ErrBadRange, lo, hi)
+	}
+	target := g.ownerIndex(lo)
+	cur, searchHops := g.search(start, g.nodes[target].key)
+
+	res := &Result{}
+	hops := searchHops
+	// Level-0 sweep right across the range.
+	for {
+		nd := g.nodes[cur]
+		res.Stats.DestNodes++
+		for _, it := range nd.items {
+			if it.Value >= lo && it.Value <= hi {
+				res.Matches = append(res.Matches, Match{Name: it.Name, Value: it.Value})
+			}
+		}
+		next := nd.right[0]
+		if next < 0 || g.nodes[next].key > hi {
+			break
+		}
+		cur = next
+		hops++
+	}
+	sort.Slice(res.Matches, func(i, j int) bool {
+		if res.Matches[i].Value != res.Matches[j].Value {
+			return res.Matches[i].Value < res.Matches[j].Value
+		}
+		return res.Matches[i].Name < res.Matches[j].Name
+	})
+	res.Stats.Delay = hops
+	res.Stats.SearchHops = searchHops
+	res.Stats.Messages = hops
+	return res, nil
+}
+
+// search routes from node index start to the node whose key equals key
+// (which must exist), using the standard top-down Skip Graph traversal, and
+// returns the destination index and hop count.
+func (g *Graph) search(start int, key float64) (int, int) {
+	cur := start
+	hops := 0
+	for level := len(g.nodes[cur].left) - 1; level >= 0; level-- {
+		for {
+			nd := g.nodes[cur]
+			if nd.key == key {
+				return cur, hops
+			}
+			if level >= len(nd.left) {
+				break
+			}
+			var next int
+			if nd.key < key {
+				next = nd.right[level]
+				if next < 0 || g.nodes[next].key > key {
+					break
+				}
+			} else {
+				next = nd.left[level]
+				if next < 0 || g.nodes[next].key < key {
+					break
+				}
+			}
+			cur = next
+			hops++
+		}
+	}
+	return cur, hops
+}
+
+// CheckLinks verifies structural soundness: level-0 forms the sorted list
+// and all links are symmetric and prefix-consistent.
+func (g *Graph) CheckLinks() error {
+	for i, nd := range g.nodes {
+		if i > 0 && nd.left[0] != i-1 {
+			return fmt.Errorf("skipgraph: node %d level-0 left link = %d", i, nd.left[0])
+		}
+		if i < len(g.nodes)-1 && nd.right[0] != i+1 {
+			return fmt.Errorf("skipgraph: node %d level-0 right link = %d", i, nd.right[0])
+		}
+		for l := 0; l < len(nd.left); l++ {
+			if j := nd.left[l]; j >= 0 {
+				if g.nodes[j].right[l] != i {
+					return fmt.Errorf("skipgraph: asymmetric link %d<-%d at level %d", i, j, l)
+				}
+				if l > 0 && (g.nodes[j].vector^nd.vector)&(^uint64(0)>>uint(64-l)) != 0 {
+					return fmt.Errorf("skipgraph: level-%d link %d-%d without shared prefix", l, j, i)
+				}
+			}
+		}
+	}
+	return nil
+}

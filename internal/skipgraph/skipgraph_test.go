@@ -1,0 +1,162 @@
+package skipgraph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func buildGraph(t *testing.T, n int, seed int64) *Graph {
+	t.Helper()
+	g, err := Build(n, 0, 1000, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(0, 0, 1, 1); err == nil {
+		t.Error("empty graph accepted")
+	}
+	if _, err := Build(10, 5, 5, 1); err == nil {
+		t.Error("empty key space accepted")
+	}
+}
+
+func TestBuildStructure(t *testing.T) {
+	for _, n := range []int{1, 2, 10, 200} {
+		g := buildGraph(t, n, int64(n))
+		if g.Size() != n {
+			t.Fatalf("size = %d, want %d", g.Size(), n)
+		}
+		if err := g.CheckLinks(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestLevelsAndDegreeScaleLogarithmically(t *testing.T) {
+	g := buildGraph(t, 1024, 3)
+	logN := math.Log2(1024)
+	// The deepest level at which any two of N random vectors still share a
+	// prefix is ≈ 2·log₂N (birthday bound); levels must be Θ(logN).
+	if lv := float64(g.Levels()); lv < logN-2 || lv > 2*logN+6 {
+		t.Errorf("levels = %v, want within [logN-2, 2logN+6] = [%v, %v]", lv, logN-2, 2*logN+6)
+	}
+	if d := g.AvgDegree(); d < logN/2 || d > 4*logN {
+		t.Errorf("avg degree = %.1f, want O(logN) = %.1f", d, logN)
+	}
+}
+
+func TestPublishOwner(t *testing.T) {
+	g := buildGraph(t, 50, 5)
+	idx := g.Publish("a", 421.5)
+	if g.nodes[idx].key > 421.5 {
+		t.Fatalf("owner key %v above value", g.nodes[idx].key)
+	}
+	if idx+1 < len(g.nodes) && g.nodes[idx+1].key <= 421.5 {
+		t.Fatalf("owner %d is not the largest key ≤ value", idx)
+	}
+	// Values below every key go to node 0.
+	if got := g.Publish("b", -5); got != 0 {
+		t.Fatalf("below-range owner = %d", got)
+	}
+}
+
+func TestRangeQueryCompleteness(t *testing.T) {
+	g := buildGraph(t, 120, 7)
+	rng := rand.New(rand.NewSource(8))
+	values := make([]float64, 400)
+	for i := range values {
+		values[i] = rng.Float64() * 1000
+		g.Publish(name(i), values[i])
+	}
+	for trial := 0; trial < 40; trial++ {
+		lo := rng.Float64() * 1000
+		hi := lo + rng.Float64()*(1000-lo)
+		res, err := g.RangeQuery(g.RandomNode(rng), lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		for _, v := range values {
+			if v >= lo && v <= hi {
+				want++
+			}
+		}
+		if len(res.Matches) != want {
+			t.Fatalf("[%f,%f]: %d matches, want %d", lo, hi, len(res.Matches), want)
+		}
+	}
+}
+
+func TestRangeQueryValidation(t *testing.T) {
+	g := buildGraph(t, 10, 9)
+	if _, err := g.RangeQuery(0, 9, 5); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if _, err := g.RangeQuery(-1, 0, 1); err == nil {
+		t.Error("bad start index accepted")
+	}
+}
+
+// Search cost is O(logN); the sweep adds ~n hops — so delay grows with the
+// answer size (Table 1: not delay-bounded).
+func TestDelayGrowsWithAnswerSize(t *testing.T) {
+	g := buildGraph(t, 1000, 11)
+	rng := rand.New(rand.NewSource(12))
+	avgDelay := func(width float64) float64 {
+		total := 0
+		const trials = 100
+		for i := 0; i < trials; i++ {
+			lo := rng.Float64() * (1000 - width)
+			res, err := g.RangeQuery(g.RandomNode(rng), lo, lo+width)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += res.Stats.Delay
+		}
+		return float64(total) / trials
+	}
+	small, large := avgDelay(2), avgDelay(300)
+	if large < small+100 {
+		t.Errorf("delay %f -> %f: a 30%% range should add ≈ 300 sweep hops", small, large)
+	}
+}
+
+// The descent alone is logarithmic.
+func TestSearchHopsLogarithmic(t *testing.T) {
+	g := buildGraph(t, 2048, 13)
+	rng := rand.New(rand.NewSource(14))
+	total := 0
+	const trials = 300
+	for i := 0; i < trials; i++ {
+		v := rng.Float64() * 1000
+		res, err := g.RangeQuery(g.RandomNode(rng), v, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += res.Stats.SearchHops
+	}
+	logN := math.Log2(2048)
+	if avg := float64(total) / trials; avg > 3*logN {
+		t.Errorf("avg search hops %.1f, want O(logN) = %.1f", avg, logN)
+	}
+}
+
+func TestSingleNodeGraph(t *testing.T) {
+	g := buildGraph(t, 1, 15)
+	g.Publish("only", 500)
+	res, err := g.RangeQuery(0, 0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) != 1 || res.Stats.DestNodes != 1 {
+		t.Fatalf("single-node result = %+v", res)
+	}
+}
+
+func name(i int) string {
+	return "s" + string(rune('a'+i%26)) + string(rune('0'+i/26%10)) + string(rune('0'+i%10))
+}

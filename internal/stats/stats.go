@@ -1,0 +1,96 @@
+// Package stats provides the small numeric summaries used by the
+// experiment harness.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Sample accumulates observations of one metric.
+type Sample struct {
+	values []float64
+}
+
+// Add records one observation.
+func (s *Sample) Add(v float64) { s.values = append(s.values, v) }
+
+// AddInt records one integer observation.
+func (s *Sample) AddInt(v int) { s.Add(float64(v)) }
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.values) }
+
+// Mean returns the arithmetic mean (0 for an empty sample).
+func (s *Sample) Mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, v := range s.values {
+		total += v
+	}
+	return total / float64(len(s.values))
+}
+
+// Max returns the largest observation (0 for an empty sample).
+func (s *Sample) Max() float64 {
+	max := math.Inf(-1)
+	for _, v := range s.values {
+		if v > max {
+			max = v
+		}
+	}
+	if math.IsInf(max, -1) {
+		return 0
+	}
+	return max
+}
+
+// Min returns the smallest observation (0 for an empty sample).
+func (s *Sample) Min() float64 {
+	min := math.Inf(1)
+	for _, v := range s.values {
+		if v < min {
+			min = v
+		}
+	}
+	if math.IsInf(min, 1) {
+		return 0
+	}
+	return min
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) by nearest-rank.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), s.values...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}
+
+// StdDev returns the population standard deviation.
+func (s *Sample) StdDev() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	mean := s.Mean()
+	total := 0.0
+	for _, v := range s.values {
+		d := v - mean
+		total += d * d
+	}
+	return math.Sqrt(total / float64(len(s.values)))
+}

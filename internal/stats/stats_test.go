@@ -1,0 +1,68 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func sampleOf(vs ...float64) *Sample {
+	var s Sample
+	for _, v := range vs {
+		s.Add(v)
+	}
+	return &s
+}
+
+func TestEmptySample(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Max() != 0 || s.Min() != 0 || s.Percentile(50) != 0 || s.StdDev() != 0 {
+		t.Error("empty sample should report zeros")
+	}
+	if s.N() != 0 {
+		t.Error("empty sample N != 0")
+	}
+}
+
+func TestMeanMinMax(t *testing.T) {
+	s := sampleOf(4, 2, 10, 8)
+	if s.Mean() != 6 {
+		t.Errorf("mean = %v", s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 10 {
+		t.Errorf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if s.N() != 4 {
+		t.Errorf("n = %d", s.N())
+	}
+}
+
+func TestAddInt(t *testing.T) {
+	var s Sample
+	s.AddInt(3)
+	s.AddInt(5)
+	if s.Mean() != 4 {
+		t.Errorf("mean = %v", s.Mean())
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	s := sampleOf(1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {10, 1}, {50, 5}, {90, 9}, {100, 10},
+	}
+	for _, tt := range tests {
+		if got := s.Percentile(tt.p); got != tt.want {
+			t.Errorf("P%v = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	s := sampleOf(2, 4, 4, 4, 5, 5, 7, 9)
+	if got := s.StdDev(); math.Abs(got-2) > 1e-12 {
+		t.Errorf("stddev = %v, want 2", got)
+	}
+}

@@ -1,0 +1,112 @@
+package armada
+
+import (
+	"errors"
+	"fmt"
+)
+
+// AttributeSpace is the value interval of one object attribute.
+type AttributeSpace struct {
+	Low  float64
+	High float64
+}
+
+// config collects construction options for a Network.
+type config struct {
+	k        int
+	seed     int64
+	attrs    []AttributeSpace
+	balanced bool
+	async    bool
+}
+
+// Option configures NewNetwork.
+type Option interface {
+	apply(*config) error
+}
+
+type optionFunc func(*config) error
+
+func (f optionFunc) apply(c *config) error { return f(c) }
+
+// errBadOption tags option validation failures.
+var errBadOption = errors.New("armada: invalid option")
+
+// WithK sets the ObjectID length (the depth of the naming partition tree).
+// It must exceed the longest peer identifier the network can grow (above
+// 2·log₂N) and defaults to 32, which supports networks beyond a million
+// peers.
+func WithK(k int) Option {
+	return optionFunc(func(c *config) error {
+		if k < 2 || k > 62 {
+			return fmt.Errorf("%w: k=%d outside [2, 62]", errBadOption, k)
+		}
+		c.k = k
+		return nil
+	})
+}
+
+// WithSeed fixes the pseudo-random seed used for network construction and
+// default issuer selection, making runs reproducible. The default is 1.
+func WithSeed(seed int64) Option {
+	return optionFunc(func(c *config) error {
+		c.seed = seed
+		return nil
+	})
+}
+
+// WithAttributes declares the attribute spaces objects are named by, in
+// attribute order. One space enables single-attribute range queries
+// (Single_hash/PIRA); several enable multi-attribute queries
+// (Multiple_hash/MIRA). The default is a single [0, 1000] attribute, the
+// paper's simulation interval.
+func WithAttributes(spaces ...AttributeSpace) Option {
+	return optionFunc(func(c *config) error {
+		if len(spaces) == 0 {
+			return fmt.Errorf("%w: no attribute spaces", errBadOption)
+		}
+		for i, s := range spaces {
+			if !(s.Low < s.High) {
+				return fmt.Errorf("%w: attribute %d space [%v, %v]", errBadOption, i, s.Low, s.High)
+			}
+		}
+		c.attrs = append([]AttributeSpace(nil), spaces...)
+		return nil
+	})
+}
+
+// WithBalancedBuild grows the initial network by always splitting a
+// shortest-identifier peer, yielding identifier lengths within one of each
+// other. The default emulates FISSIONE's random joins (hash to a position,
+// split the local length minimum there).
+func WithBalancedBuild() Option {
+	return optionFunc(func(c *config) error {
+		c.balanced = true
+		return nil
+	})
+}
+
+// WithAsyncQueries executes queries on the goroutine-per-peer engine
+// instead of the deterministic synchronous engine. Results and metrics are
+// identical; the asynchronous engine exists to demonstrate and test the
+// algorithms' locality under real concurrency.
+func WithAsyncQueries() Option {
+	return optionFunc(func(c *config) error {
+		c.async = true
+		return nil
+	})
+}
+
+func buildConfig(opts []Option) (config, error) {
+	c := config{
+		k:     32,
+		seed:  1,
+		attrs: []AttributeSpace{{Low: 0, High: 1000}},
+	}
+	for _, o := range opts {
+		if err := o.apply(&c); err != nil {
+			return config{}, err
+		}
+	}
+	return c, nil
+}

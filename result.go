@@ -1,0 +1,106 @@
+package armada
+
+import (
+	"math"
+
+	"armada/internal/core"
+)
+
+// Range is one attribute's queried interval [Low, High] (inclusive).
+type Range struct {
+	Low  float64
+	High float64
+}
+
+// Object is a published object returned by a query.
+type Object struct {
+	// Name is the application-level object name.
+	Name string
+	// Values are the attribute values the object was published with (nil
+	// for exact-match-only objects).
+	Values []float64
+	// ID is the object's Kautz-string ObjectID (empty on lookups, where the
+	// queried ID is implied).
+	ID string
+	// Peer is the identifier of the peer storing the object.
+	Peer string
+}
+
+// Stats are the cost metrics of one query, in the paper's units.
+type Stats struct {
+	// Delay is the hop count until the last destination peer received the
+	// query. Armada guarantees Delay < 2·log₂N; the average is below log₂N.
+	Delay int
+	// Messages is the number of overlay messages produced by the query.
+	Messages int
+	// DestPeers is the number of distinct peers whose regions intersect the
+	// query ("Destpeers").
+	DestPeers int
+	// Subregions is how many common-prefix subregions the query's Kautz
+	// region was split into (1–3).
+	Subregions int
+}
+
+// MesgRatio is Messages/DestPeers, the paper's per-destination message
+// cost (0 when no peer was reached).
+func (s Stats) MesgRatio() float64 {
+	if s.DestPeers == 0 {
+		return 0
+	}
+	return float64(s.Messages) / float64(s.DestPeers)
+}
+
+// IncreRatio is (Messages − log₂ n)/(DestPeers − 1) for a network of n
+// peers — the marginal message cost per destination beyond the first (0
+// when fewer than two peers were reached).
+func (s Stats) IncreRatio(networkSize int) float64 {
+	if s.DestPeers <= 1 {
+		return 0
+	}
+	return (float64(s.Messages) - math.Log2(float64(networkSize))) / float64(s.DestPeers-1)
+}
+
+// Result is the outcome of a range or top-k query.
+type Result struct {
+	// Objects are the matching objects. Range queries sort them by
+	// (ObjectID, Name); top-k queries sort them by descending first
+	// attribute.
+	Objects []Object
+	// Destinations are the distinct peers that received the query,
+	// ascending (empty for top-k results).
+	Destinations []string
+	// Stats carries the query's cost metrics.
+	Stats Stats
+}
+
+// LookupResult is the outcome of an exact-match lookup.
+type LookupResult struct {
+	// Owner is the peer owning the looked-up ObjectID.
+	Owner string
+	// Objects are the objects published under the ObjectID.
+	Objects []Object
+	// Stats carries the routing cost.
+	Stats Stats
+}
+
+func statsOf(s core.Stats) Stats {
+	return Stats{
+		Delay:      s.Delay,
+		Messages:   s.Messages,
+		DestPeers:  s.DestPeers,
+		Subregions: s.Subregions,
+	}
+}
+
+func resultOf(r *core.RangeResult) *Result {
+	out := &Result{Stats: statsOf(r.Stats)}
+	for _, m := range r.Matches {
+		out.Objects = append(out.Objects, Object{
+			Name: m.Name, Values: m.Values, ID: string(m.ObjectID), Peer: string(m.Peer),
+		})
+	}
+	for _, d := range r.Destinations {
+		out.Destinations = append(out.Destinations, string(d))
+	}
+	return out
+}
