@@ -15,16 +15,28 @@
 // peer). Query results carry the paper's cost metrics — hop delay, message
 // count and destination-peer count.
 //
+// Every query is one Query value executed through a single entry point,
+// Do, which accepts a context for cancellation:
+//
 //	net, err := armada.NewNetwork(2000)
 //	...
 //	err = net.Publish("alice", 83.5)
-//	res, err := net.RangeQuery(70, 80)
+//	res, err := net.Do(ctx, armada.NewRange([]armada.Range{{Low: 70, High: 80}}))
 //	fmt.Println(res.Stats.Delay, res.Stats.Messages, len(res.Objects))
+//
+// Per-query options select the issuer (WithIssuer), observe every overlay
+// hop (WithTrace), or retarget the algorithm (WithTopK, WithFlood). Stream
+// delivers matching objects as destination peers report them, and
+// PublishBatch ingests many objects under one lock acquisition. The legacy
+// per-kind methods (Lookup, RangeQuery, MultiRangeQuery, TraceQuery, TopK)
+// remain as thin deprecated wrappers over Do.
 package armada
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"iter"
 	"math/rand"
 	"sync"
 
@@ -37,6 +49,7 @@ import (
 // Errors returned by Network operations.
 var (
 	ErrBadArity   = errors.New("armada: value count must match the configured attributes")
+	ErrBadQuery   = errors.New("armada: invalid query")
 	ErrNoSuchPeer = errors.New("armada: no such peer")
 	ErrTooSmall   = errors.New("armada: network cannot shrink below 3 peers")
 )
@@ -44,13 +57,21 @@ var (
 // Network is a simulated FISSIONE overlay with Armada query processing.
 //
 // Mutating operations (Join, Leave, Publish) and queries are safe for
-// concurrent use; mutations take a write lock, queries a read lock.
+// concurrent use; mutations take a write lock, queries a read lock. The
+// query engine itself is stateless — every query carries its own
+// configuration — so any number of queries, traced or not, may run
+// concurrently.
 type Network struct {
 	mu   sync.RWMutex
 	net  *fissione.Network
 	tree *naming.Tree
 	eng  *core.Engine
-	rng  *rand.Rand
+	mode core.Mode
+
+	// rng drives default issuer selection; it has its own mutex so peer
+	// sampling never serializes behind mutations or other samplers.
+	rngMu sync.Mutex
+	rng   *rand.Rand
 }
 
 // NewNetwork builds a network of the given number of peers (at least 3).
@@ -83,13 +104,15 @@ func NewNetwork(peers int, opts ...Option) (*Network, error) {
 	if err != nil {
 		return nil, err
 	}
+	mode := core.Sync
 	if cfg.async {
-		eng.SetMode(core.Async)
+		mode = core.Async
 	}
 	return &Network{
 		net:  net,
 		tree: tree,
 		eng:  eng,
+		mode: mode,
 		rng:  rand.New(rand.NewSource(cfg.seed + 1)),
 	}, nil
 }
@@ -117,10 +140,19 @@ func (n *Network) PeerIDs() []string {
 	return out
 }
 
-// RandomPeer returns a uniformly random peer identifier.
+// RandomPeer returns a uniformly random peer identifier. Sampling is a
+// read-only operation: it shares the read lock with queries and serializes
+// only on the sampler's own source.
 func (n *Network) RandomPeer() string {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.randomPeerLocked()
+}
+
+// randomPeerLocked samples a peer; the caller holds at least the read lock.
+func (n *Network) randomPeerLocked() string {
+	n.rngMu.Lock()
+	defer n.rngMu.Unlock()
 	return string(n.net.RandomPeer(n.rng))
 }
 
@@ -167,6 +199,32 @@ func wrapFissioneErr(err error, peerID string) error {
 func (n *Network) Publish(name string, values ...float64) error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	return n.publishLocked(name, values)
+}
+
+// Publication is one named object for PublishBatch, with one value per
+// configured attribute.
+type Publication struct {
+	Name   string
+	Values []float64
+}
+
+// PublishBatch stores many objects under a single write-lock acquisition —
+// the bulk-ingest path. Publication i failing aborts the batch with an
+// error naming i; objects before it remain published.
+func (n *Network) PublishBatch(pubs []Publication) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for i, p := range pubs {
+		if err := n.publishLocked(p.Name, p.Values); err != nil {
+			return fmt.Errorf("armada: batch publication %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// publishLocked places one object; the caller holds the write lock.
+func (n *Network) publishLocked(name string, values []float64) error {
 	if len(values) != n.tree.Attrs() {
 		return fmt.Errorf("%w: got %d values, want %d", ErrBadArity, len(values), n.tree.Attrs())
 	}
@@ -188,118 +246,274 @@ func (n *Network) PublishExact(name string) error {
 	return err
 }
 
+// Do executes one query and returns its full result. It is the single
+// entry point behind every query kind:
+//
+//	res, err := net.Do(ctx, armada.NewRange([]armada.Range{{Low: 70, High: 80}}))
+//	res, err := net.Do(ctx, armada.NewLookup("report.pdf"))
+//	res, err := net.Do(ctx, armada.NewRange(ranges, armada.WithTopK(5)))
+//
+// Queries run under the network's read lock and may run concurrently with
+// each other. Cancelling ctx aborts the query mid-descent; Do then returns
+// an error wrapping ctx's error. A nil ctx never cancels.
+func (n *Network) Do(ctx context.Context, q Query) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	issuer := q.Issuer
+	if issuer == "" {
+		issuer = n.randomPeerLocked()
+	}
+	return n.do(ctx, q, issuer, nil)
+}
+
+// Stream executes one query and yields matching objects as destination
+// peers deliver them, before the final result is assembled — the streaming
+// variant of Do:
+//
+//	for obj, err := range net.Stream(ctx, q) {
+//		if err != nil { ... }
+//		use(obj)
+//	}
+//
+// Objects arrive in delivery order, not the sorted order Do returns.
+// Breaking out of the loop cancels the query. A terminal error, if any, is
+// yielded as the final pair. Top-k queries cannot stream (their result set
+// is only known once the descent finishes); use Do.
+//
+// The descent never waits on the consumer: delivered objects buffer until
+// yielded, and the read lock is released as soon as the descent finishes,
+// however slowly the loop body runs. Mutating the network (Publish, Join,
+// Leave) from inside the loop is safe but blocks until that point.
+func (n *Network) Stream(ctx context.Context, q Query) iter.Seq2[Object, error] {
+	return func(yield func(Object, error) bool) {
+		if q.kind() == KindTopK {
+			yield(Object{}, fmt.Errorf("%w: top-k queries cannot stream; use Do", ErrBadQuery))
+			return
+		}
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		sctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+
+		// Unbounded buffer between the descent and the consumer, so the
+		// engine never blocks on the loop body while holding the read lock.
+		var (
+			bufMu sync.Mutex
+			buf   []Object
+		)
+		notify := make(chan struct{}, 1)
+		done := make(chan error, 1)
+		go func() {
+			n.mu.RLock()
+			defer n.mu.RUnlock()
+			issuer := q.Issuer
+			if issuer == "" {
+				issuer = n.randomPeerLocked()
+			}
+			_, err := n.do(sctx, q, issuer, func(o Object) {
+				bufMu.Lock()
+				buf = append(buf, o)
+				bufMu.Unlock()
+				select {
+				case notify <- struct{}{}:
+				default:
+				}
+			})
+			done <- err
+		}()
+
+		var (
+			finished bool
+			queryErr error
+		)
+		for {
+			bufMu.Lock()
+			batch := buf
+			buf = nil
+			bufMu.Unlock()
+			for _, o := range batch {
+				if !yield(o, nil) {
+					cancel()
+					if !finished {
+						<-done // the query goroutine sends exactly once
+					}
+					return
+				}
+			}
+			if finished {
+				if queryErr != nil {
+					yield(Object{}, queryErr)
+				}
+				return
+			}
+			select {
+			case <-notify:
+			case queryErr = <-done:
+				// One final drain: every OnMatch call happens before the
+				// query returns, so the buffer is complete now.
+				finished = true
+			}
+		}
+	}
+}
+
+// do dispatches one query on the engine. The caller holds the read lock;
+// onMatch, when non-nil, streams each matching object at delivery time.
+func (n *Network) do(ctx context.Context, q Query, issuer string, onMatch func(Object)) (*Result, error) {
+	opts := make([]core.QueryOption, 0, 3)
+	if n.mode == core.Async {
+		opts = append(opts, core.WithMode(core.Async))
+	}
+	if q.Trace != nil {
+		trace := q.Trace
+		opts = append(opts, core.WithTrace(func(from, to kautz.Str, depth, remaining int) {
+			trace(Hop{From: string(from), To: string(to), Depth: depth, Remaining: remaining})
+		}))
+	}
+	if onMatch != nil {
+		opts = append(opts, core.WithOnMatch(func(m core.Match) {
+			onMatch(objectOf(m))
+		}))
+	}
+
+	switch kind := q.kind(); kind {
+	case KindLookup:
+		if q.Name == "" {
+			return nil, fmt.Errorf("%w: lookup needs a name", ErrBadQuery)
+		}
+		oid := kautz.Hash(q.Name, n.net.K())
+		res, err := n.eng.Lookup(ctx, kautz.Str(issuer), oid, opts...)
+		if err != nil {
+			return nil, wrapCoreErr(err)
+		}
+		out := &Result{Owner: string(res.Owner), Stats: statsOf(res.Stats)}
+		for _, o := range res.Objects {
+			out.Objects = append(out.Objects, Object{
+				Name: o.Name, Values: o.Values, ID: string(oid), Peer: out.Owner,
+			})
+		}
+		return out, nil
+
+	case KindRange, KindFlood:
+		lo, hi, err := n.bounds(q.Ranges)
+		if err != nil {
+			return nil, err
+		}
+		var res *core.RangeResult
+		if kind == KindFlood {
+			res, err = n.eng.FloodQuery(ctx, kautz.Str(issuer), lo, hi, opts...)
+		} else {
+			res, err = n.eng.RangeQuery(ctx, kautz.Str(issuer), lo, hi, opts...)
+		}
+		if err != nil {
+			return nil, wrapCoreErr(err)
+		}
+		return resultOf(res), nil
+
+	case KindTopK:
+		if q.K < 1 {
+			return nil, fmt.Errorf("%w: top-k needs K ≥ 1, got %d", ErrBadQuery, q.K)
+		}
+		lo, hi, err := n.bounds(q.Ranges)
+		if err != nil {
+			return nil, err
+		}
+		res, err := n.eng.TopK(ctx, kautz.Str(issuer), lo, hi, q.K, opts...)
+		if err != nil {
+			return nil, wrapCoreErr(err)
+		}
+		out := &Result{Stats: statsOf(res.Stats)}
+		for _, m := range res.Matches {
+			out.Objects = append(out.Objects, objectOf(m))
+		}
+		return out, nil
+
+	default:
+		return nil, fmt.Errorf("%w: unknown kind %v", ErrBadQuery, kind)
+	}
+}
+
 // Lookup routes an exact-match query for name from a random peer and
 // returns the owning peer, any objects published under the name's
 // ObjectID, and the routing cost.
+//
+// Deprecated: use Do with NewLookup.
 func (n *Network) Lookup(name string) (*LookupResult, error) {
 	return n.LookupFrom(n.RandomPeer(), name)
 }
 
 // LookupFrom is Lookup issued by a specific peer.
+//
+// Deprecated: use Do with NewLookup and WithIssuer.
 func (n *Network) LookupFrom(issuer, name string) (*LookupResult, error) {
-	n.mu.RLock()
-	defer n.mu.RUnlock()
-	oid := kautz.Hash(name, n.net.K())
-	res, err := n.eng.Lookup(kautz.Str(issuer), oid)
+	res, err := n.Do(context.Background(), NewLookup(name, WithIssuer(issuer)))
 	if err != nil {
-		return nil, wrapCoreErr(err)
+		return nil, err
 	}
-	out := &LookupResult{Owner: string(res.Owner), Stats: statsOf(res.Stats)}
-	for _, o := range res.Objects {
-		out.Objects = append(out.Objects, Object{Name: o.Name, Values: o.Values, Peer: string(res.Owner)})
-	}
-	return out, nil
+	return &LookupResult{Owner: res.Owner, Objects: res.Objects, Stats: res.Stats}, nil
 }
 
 // RangeQuery executes a single-attribute range query [low, high] from a
 // random issuer. The network must be configured with exactly one attribute.
+//
+// Deprecated: use Do with NewRange.
 func (n *Network) RangeQuery(low, high float64) (*Result, error) {
-	return n.RangeQueryFrom(n.RandomPeer(), Range{Low: low, High: high})
+	return n.Do(context.Background(), NewRange([]Range{{Low: low, High: high}}))
 }
 
 // MultiRangeQuery executes a multi-attribute range query from a random
 // issuer, one Range per configured attribute.
+//
+// Deprecated: use Do with NewRange.
 func (n *Network) MultiRangeQuery(ranges ...Range) (*Result, error) {
-	return n.RangeQueryFrom(n.RandomPeer(), ranges...)
+	return n.Do(context.Background(), NewRange(ranges))
 }
 
 // RangeQueryFrom executes a range query issued by a specific peer, one
 // Range per configured attribute. Single-attribute queries run PIRA;
 // multi-attribute queries run MIRA.
+//
+// Deprecated: use Do with NewRange and WithIssuer.
 func (n *Network) RangeQueryFrom(issuer string, ranges ...Range) (*Result, error) {
-	n.mu.RLock()
-	defer n.mu.RUnlock()
-	lo, hi, err := n.bounds(ranges)
-	if err != nil {
-		return nil, err
-	}
-	res, err := n.eng.RangeQuery(kautz.Str(issuer), lo, hi)
-	if err != nil {
-		return nil, wrapCoreErr(err)
-	}
-	return resultOf(res), nil
-}
-
-// Hop is one observed overlay message of a traced query.
-type Hop struct {
-	// From is the peer that processed the message; To is the forward's
-	// target. A delivery (the query reaching a destination peer) has
-	// To == From and Remaining == 0.
-	From, To string
-	// Depth is the hop count from the issuer; Remaining is the number of
-	// hops left to the destination level of the forward routing tree.
-	Depth, Remaining int
+	return n.Do(context.Background(), NewRange(ranges, WithIssuer(issuer)))
 }
 
 // TraceQuery executes a range query like RangeQueryFrom while recording
 // every overlay message, returning the result together with the hops in
-// processing order. It is intended for inspection and debugging.
+// processing order. It runs under the read lock like every other query, so
+// traced and untraced queries may execute concurrently.
+//
+// Deprecated: use Do with NewRange and WithTrace.
 func (n *Network) TraceQuery(issuer string, ranges ...Range) (*Result, []Hop, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	lo, hi, err := n.bounds(ranges)
+	var (
+		hopMu sync.Mutex // an async network may run the trace hook concurrently
+		hops  []Hop
+	)
+	res, err := n.Do(context.Background(), NewRange(ranges,
+		WithIssuer(issuer),
+		WithTrace(func(h Hop) {
+			hopMu.Lock()
+			defer hopMu.Unlock()
+			hops = append(hops, h)
+		}),
+	))
 	if err != nil {
 		return nil, nil, err
 	}
-	var (
-		hopMu sync.Mutex // the engine may run the trace hook concurrently in async mode
-		hops  []Hop
-	)
-	n.eng.SetTrace(func(from, to kautz.Str, depth, remaining int) {
-		hopMu.Lock()
-		defer hopMu.Unlock()
-		hops = append(hops, Hop{From: string(from), To: string(to), Depth: depth, Remaining: remaining})
-	})
-	defer n.eng.SetTrace(nil)
-	res, err := n.eng.RangeQuery(kautz.Str(issuer), lo, hi)
-	if err != nil {
-		return nil, nil, wrapCoreErr(err)
-	}
-	return resultOf(res), hops, nil
+	return res, hops, nil
 }
 
 // TopK returns up to k objects with the largest first-attribute values
 // within the ranges, from a random issuer — the paper's future-work query
 // type, built on the same bounded-delay descent.
+//
+// Deprecated: use Do with NewRange and WithTopK.
 func (n *Network) TopK(k int, ranges ...Range) (*Result, error) {
-	n.mu.RLock()
-	defer n.mu.RUnlock()
-	lo, hi, err := n.bounds(ranges)
-	if err != nil {
-		return nil, err
-	}
-	issuer := n.net.RandomPeer(nil)
-	res, err := n.eng.TopK(issuer, lo, hi, k)
-	if err != nil {
-		return nil, wrapCoreErr(err)
-	}
-	out := &Result{Stats: statsOf(res.Stats)}
-	for _, m := range res.Matches {
-		out.Objects = append(out.Objects, Object{
-			Name: m.Name, Values: m.Values, ID: string(m.ObjectID), Peer: string(m.Peer),
-		})
-	}
-	return out, nil
+	return n.Do(context.Background(), NewRange(ranges, WithTopK(k)))
 }
 
 // bounds converts ranges to per-attribute bound slices.

@@ -6,6 +6,7 @@
 package armada_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -72,7 +73,7 @@ func reportPIRA(b *testing.B, eng *core.Engine, width float64, seed int64) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		lo := rng.Float64() * (benchSpace - width)
-		res, err := eng.RangeQuery(net.RandomPeer(rng), []float64{lo}, []float64{lo + width})
+		res, err := eng.RangeQuery(context.Background(), net.RandomPeer(rng), []float64{lo}, []float64{lo + width})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -251,7 +252,7 @@ func BenchmarkDelayBound(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		width := []float64{2, 20, 200, 900}[i%4]
 		lo := rng.Float64() * (benchSpace - width)
-		res, err := eng.RangeQuery(net.RandomPeer(rng), []float64{lo}, []float64{lo + width})
+		res, err := eng.RangeQuery(context.Background(), net.RandomPeer(rng), []float64{lo}, []float64{lo + width})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -284,7 +285,7 @@ func BenchmarkMIRA(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		lo := []float64{rng.Float64() * 800, rng.Float64() * 800}
 		hi := []float64{lo[0] + 140, lo[1] + 140}
-		res, err := eng.RangeQuery(net.RandomPeer(rng), lo, hi)
+		res, err := eng.RangeQuery(context.Background(), net.RandomPeer(rng), lo, hi)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -309,13 +310,13 @@ func BenchmarkAblationPruning(b *testing.B) {
 			issuer := net.RandomPeer(rng)
 			var m int
 			if flood {
-				res, err := eng.FloodQuery(issuer, []float64{lo}, []float64{lo + 20})
+				res, err := eng.FloodQuery(context.Background(), issuer, []float64{lo}, []float64{lo + 20})
 				if err != nil {
 					b.Fatal(err)
 				}
 				m = res.Stats.Messages
 			} else {
-				res, err := eng.RangeQuery(issuer, []float64{lo}, []float64{lo + 20})
+				res, err := eng.RangeQuery(context.Background(), issuer, []float64{lo}, []float64{lo + 20})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -344,7 +345,7 @@ func BenchmarkLookup(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		oid := kautz.Random(rng, benchK)
-		res, err := eng.Lookup(net.RandomPeer(rng), oid)
+		res, err := eng.Lookup(context.Background(), net.RandomPeer(rng), oid)
 		if err != nil {
 			b.Fatal(err)
 		}

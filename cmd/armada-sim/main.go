@@ -8,26 +8,35 @@
 //	armada-sim -peers 2000 -objects 5000 -lo 70 -hi 80
 //	armada-sim -peers 500 -multi -lo 1 -hi 4 -lo2 50 -hi2 200
 //	armada-sim -peers 1000 -churn 200
+//	armada-sim -peers 1000 -stream
+//
+// Queries run through the unified Do/Stream API; Ctrl-C cancels an
+// in-flight query through its context.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"math/rand"
 	"os"
+	"os/signal"
+	"sync"
 
 	"armada"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "armada-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("armada-sim", flag.ContinueOnError)
 	var (
 		peers   = fs.Int("peers", 1000, "network size")
@@ -41,6 +50,7 @@ func run(args []string) error {
 		churn   = fs.Int("churn", 0, "random joins/leaves to apply before querying")
 		topk    = fs.Int("topk", 0, "also run a top-k query for the given k")
 		async   = fs.Bool("async", false, "execute queries on one goroutine per peer")
+		stream  = fs.Bool("stream", false, "print matches as destination peers deliver them")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -68,14 +78,16 @@ func run(args []string) error {
 
 	rng := rand.New(rand.NewSource(*seed + 100))
 	fmt.Printf("publishing %d objects...\n", *objects)
-	for i := 0; i < *objects; i++ {
+	pubs := make([]armada.Publication, *objects)
+	for i := range pubs {
 		vals := make([]float64, len(spaces))
 		for j, s := range spaces {
 			vals[j] = s.Low + rng.Float64()*(s.High-s.Low)
 		}
-		if err := net.Publish(fmt.Sprintf("obj-%05d", i), vals...); err != nil {
-			return err
-		}
+		pubs[i] = armada.Publication{Name: fmt.Sprintf("obj-%05d", i), Values: vals}
+	}
+	if err := net.PublishBatch(pubs); err != nil {
+		return err
 	}
 
 	if *churn > 0 {
@@ -104,26 +116,67 @@ func run(args []string) error {
 	}
 	issuer := net.RandomPeer()
 	fmt.Printf("\nrange query %v issued by peer %s\n", ranges, issuer)
-	res, err := net.RangeQueryFrom(issuer, ranges...)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("  delay      = %d hops (bound 2logN = %.1f)\n", res.Stats.Delay, 2*logN)
-	fmt.Printf("  messages   = %d\n", res.Stats.Messages)
-	fmt.Printf("  destpeers  = %d across %d subregion(s)\n", res.Stats.DestPeers, res.Stats.Subregions)
-	fmt.Printf("  mesgratio  = %.2f, increratio = %.2f\n",
-		res.Stats.MesgRatio(), res.Stats.IncreRatio(net.Size()))
-	fmt.Printf("  matches    = %d objects\n", len(res.Objects))
-	for i, o := range res.Objects {
-		if i == 10 {
-			fmt.Printf("    ... and %d more\n", len(res.Objects)-10)
-			break
+
+	if *stream {
+		// Stream the query once, deriving the cost metrics from its own
+		// trace: a forward at depth d is processed at d+1, so the delay is
+		// the deepest forward plus one.
+		var (
+			hopMu                       sync.Mutex // an -async network runs the trace hook concurrently
+			forwards, deliveries, delay int
+		)
+		q := armada.NewRange(ranges, armada.WithIssuer(issuer),
+			armada.WithTrace(func(h armada.Hop) {
+				hopMu.Lock()
+				defer hopMu.Unlock()
+				if h.From == h.To && h.Remaining == 0 {
+					deliveries++
+					return
+				}
+				forwards++
+				if h.Depth+1 > delay {
+					delay = h.Depth + 1
+				}
+			}))
+		fmt.Println("  streaming matches as delivered:")
+		n := 0
+		for o, err := range net.Stream(ctx, q) {
+			if err != nil {
+				return err
+			}
+			n++
+			if n <= 10 {
+				fmt.Printf("    %-12s values=%v on peer %s\n", o.Name, o.Values, o.Peer)
+			}
 		}
-		fmt.Printf("    %-12s values=%v on peer %s\n", o.Name, o.Values, o.Peer)
+		if n > 10 {
+			fmt.Printf("    ... and %d more\n", n-10)
+		}
+		fmt.Printf("  matches    = %d objects streamed\n", n)
+		fmt.Printf("  delay      = %d hops (bound 2logN = %.1f)\n", delay, 2*logN)
+		fmt.Printf("  messages   = %d to %d destination peers\n", forwards, deliveries)
+	} else {
+		res, err := net.Do(ctx, armada.NewRange(ranges, armada.WithIssuer(issuer)))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  delay      = %d hops (bound 2logN = %.1f)\n", res.Stats.Delay, 2*logN)
+		fmt.Printf("  messages   = %d\n", res.Stats.Messages)
+		fmt.Printf("  destpeers  = %d across %d subregion(s)\n", res.Stats.DestPeers, res.Stats.Subregions)
+		fmt.Printf("  mesgratio  = %.2f, increratio = %.2f\n",
+			res.Stats.MesgRatio(), res.Stats.IncreRatio(net.Size()))
+		fmt.Printf("  matches    = %d objects\n", len(res.Objects))
+		for i, o := range res.Objects {
+			if i == 10 {
+				fmt.Printf("    ... and %d more\n", len(res.Objects)-10)
+				break
+			}
+			fmt.Printf("    %-12s values=%v on peer %s\n", o.Name, o.Values, o.Peer)
+		}
 	}
 
 	if *topk > 0 {
-		tres, err := net.TopK(*topk, ranges...)
+		tres, err := net.Do(ctx, armada.NewRange(ranges, armada.WithTopK(*topk)))
 		if err != nil {
 			return err
 		}

@@ -1,9 +1,12 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestRunSmallNetwork(t *testing.T) {
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-peers", "60", "-objects", "40", "-seed", "5",
 		"-lo", "100", "-hi", "300", "-topk", "2", "-churn", "10",
 	})
@@ -13,7 +16,7 @@ func TestRunSmallNetwork(t *testing.T) {
 }
 
 func TestRunMultiAttribute(t *testing.T) {
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-peers", "50", "-objects", "30", "-multi",
 		"-lo", "1", "-hi", "4", "-lo2", "50", "-hi2", "200",
 	})
@@ -22,8 +25,28 @@ func TestRunMultiAttribute(t *testing.T) {
 	}
 }
 
+func TestRunStreaming(t *testing.T) {
+	err := run(context.Background(), []string{
+		"-peers", "50", "-objects", "40", "-stream", "-lo", "0", "-hi", "500",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// -async -stream runs the trace hook concurrently; the derived counters
+// must be race-free (run under -race in CI).
+func TestRunAsyncStreaming(t *testing.T) {
+	err := run(context.Background(), []string{
+		"-peers", "80", "-objects", "60", "-async", "-stream", "-lo", "0", "-hi", "800",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
-	if err := run([]string{"-nope"}); err == nil {
+	if err := run(context.Background(), []string{"-nope"}); err == nil {
 		t.Fatal("bad flag accepted")
 	}
 }

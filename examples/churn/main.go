@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -28,12 +29,14 @@ func run() error {
 	}
 
 	// A fixed reference data set so query results are checkable at any
-	// moment.
+	// moment, ingested through the batch path.
 	const objects = 500
-	for i := 0; i < objects; i++ {
-		if err := net.Publish(fmt.Sprintf("obj-%04d", i), float64(i*2)); err != nil {
-			return err
-		}
+	pubs := make([]armada.Publication, objects)
+	for i := range pubs {
+		pubs[i] = armada.Publication{Name: fmt.Sprintf("obj-%04d", i), Values: []float64{float64(i * 2)}}
+	}
+	if err := net.PublishBatch(pubs); err != nil {
+		return err
 	}
 	expect := func(lo, hi float64) int {
 		count := 0
@@ -71,7 +74,7 @@ func run() error {
 		// And queries must stay exact and delay-bounded.
 		lo := rng.Float64() * 800
 		hi := lo + 100
-		res, err := net.RangeQuery(lo, hi)
+		res, err := net.Do(context.Background(), armada.NewRange([]armada.Range{{Low: lo, High: hi}}))
 		if err != nil {
 			return err
 		}

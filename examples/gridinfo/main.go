@@ -1,11 +1,12 @@
 // Gridinfo: a grid information service answering multi-attribute range
 // queries with MIRA — the paper's motivating example "1GB ≤ Memory ≤ 4GB
-// and 50GB ≤ disk ≤ 200GB".
+// and 50GB ≤ disk ≤ 200GB" — through the unified Do API.
 //
 //	go run ./examples/gridinfo
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -21,6 +22,8 @@ func main() {
 }
 
 func run() error {
+	ctx := context.Background()
+
 	// 2000 peers index grid hosts along two attributes: memory (GB) and
 	// disk (GB).
 	net, err := armada.NewNetwork(2000,
@@ -34,27 +37,30 @@ func run() error {
 		return err
 	}
 
-	// Register a synthetic fleet of hosts.
+	// Register a synthetic fleet of hosts through the batch ingest path.
 	rng := rand.New(rand.NewSource(12))
 	memChoices := []float64{0.5, 1, 2, 4, 8, 16, 32, 64}
 	const hosts = 3000
 	matching := 0
-	for i := 0; i < hosts; i++ {
+	fleet := make([]armada.Publication, hosts)
+	for i := range fleet {
 		mem := memChoices[rng.Intn(len(memChoices))]
 		disk := float64(rng.Intn(2000)) + 1
 		if mem >= 1 && mem <= 4 && disk >= 50 && disk <= 200 {
 			matching++
 		}
-		if err := net.Publish(fmt.Sprintf("host-%04d", i), mem, disk); err != nil {
-			return err
-		}
+		fleet[i] = armada.Publication{Name: fmt.Sprintf("host-%04d", i), Values: []float64{mem, disk}}
+	}
+	if err := net.PublishBatch(fleet); err != nil {
+		return err
 	}
 
-	// The paper's query.
-	res, err := net.MultiRangeQuery(
-		armada.Range{Low: 1, High: 4},    // 1GB ≤ memory ≤ 4GB
-		armada.Range{Low: 50, High: 200}, // 50GB ≤ disk ≤ 200GB
-	)
+	// The paper's query, as one request value.
+	q := armada.NewRange([]armada.Range{
+		{Low: 1, High: 4},    // 1GB ≤ memory ≤ 4GB
+		{Low: 50, High: 200}, // 50GB ≤ disk ≤ 200GB
+	})
+	res, err := net.Do(ctx, q)
 	if err != nil {
 		return err
 	}
@@ -77,11 +83,12 @@ func run() error {
 	fmt.Printf("\nMIRA cost: %d hops (bound 2*logN = %.1f), %d messages, %d destination peers\n",
 		res.Stats.Delay, 2*logN, res.Stats.Messages, res.Stats.DestPeers)
 
-	// Top-k variant: the 3 best-provisioned matching hosts by memory.
-	top, err := net.TopK(3,
-		armada.Range{Low: 1, High: 4},
-		armada.Range{Low: 50, High: 200},
-	)
+	// Top-k variant: the same ranges, retargeted with one option — the 3
+	// best-provisioned matching hosts by memory.
+	top, err := net.Do(ctx, armada.NewRange([]armada.Range{
+		{Low: 1, High: 4},
+		{Low: 50, High: 200},
+	}, armada.WithTopK(3)))
 	if err != nil {
 		return err
 	}

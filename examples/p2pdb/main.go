@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -35,15 +36,17 @@ func run() error {
 		scores[i] = rng.Float64() * 1000
 	}
 
-	// Armada over FISSIONE.
+	// Armada over FISSIONE; records ingest through the batch path.
 	anet, err := armada.NewNetwork(peers, armada.WithSeed(100))
 	if err != nil {
 		return err
 	}
+	pubs := make([]armada.Publication, len(scores))
 	for i, s := range scores {
-		if err := anet.Publish(fmt.Sprintf("rec-%05d", i), s); err != nil {
-			return err
-		}
+		pubs[i] = armada.Publication{Name: fmt.Sprintf("rec-%05d", i), Values: []float64{s}}
+	}
+	if err := anet.PublishBatch(pubs); err != nil {
+		return err
 	}
 
 	// DCF-CAN baseline on an equal-size CAN.
@@ -71,7 +74,7 @@ func run() error {
 		width := 10 + qrng.Float64()*190
 		lo := qrng.Float64() * (1000 - width)
 
-		ares, err := anet.RangeQuery(lo, lo+width)
+		ares, err := anet.Do(context.Background(), armada.NewRange([]armada.Range{{Low: lo, High: lo + width}}))
 		if err != nil {
 			return err
 		}

@@ -1,10 +1,11 @@
 // Quickstart: build a small Armada network, publish objects by attribute
-// value, and run delay-bounded range queries.
+// value, and run delay-bounded range queries through the unified Do API.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -19,6 +20,8 @@ func main() {
 }
 
 func run() error {
+	ctx := context.Background()
+
 	// A 256-peer FISSIONE network; objects carry one attribute in [0, 100].
 	net, err := armada.NewNetwork(256,
 		armada.WithSeed(2006),
@@ -28,20 +31,21 @@ func run() error {
 		return err
 	}
 
-	// Publish exam scores. Armada's order-preserving naming places close
-	// scores on the same or neighboring peers.
-	students := map[string]float64{
-		"alice": 83.5, "bob": 72.0, "carol": 91.2, "dave": 65.5,
-		"eve": 78.3, "frank": 70.0, "grace": 80.0, "heidi": 55.1,
+	// Publish exam scores in one batch. Armada's order-preserving naming
+	// places close scores on the same or neighboring peers.
+	students := []armada.Publication{
+		{Name: "alice", Values: []float64{83.5}}, {Name: "bob", Values: []float64{72.0}},
+		{Name: "carol", Values: []float64{91.2}}, {Name: "dave", Values: []float64{65.5}},
+		{Name: "eve", Values: []float64{78.3}}, {Name: "frank", Values: []float64{70.0}},
+		{Name: "grace", Values: []float64{80.0}}, {Name: "heidi", Values: []float64{55.1}},
 	}
-	for name, score := range students {
-		if err := net.Publish(name, score); err != nil {
-			return err
-		}
+	if err := net.PublishBatch(students); err != nil {
+		return err
 	}
 
-	// The paper's motivating query: 70 ≤ score ≤ 80.
-	res, err := net.RangeQuery(70, 80)
+	// The paper's motivating query: 70 ≤ score ≤ 80, as one Query value
+	// executed through the single Do entry point.
+	res, err := net.Do(ctx, armada.NewRange([]armada.Range{{Low: 70, High: 80}}))
 	if err != nil {
 		return err
 	}
@@ -55,11 +59,21 @@ func run() error {
 	fmt.Printf("\nquery cost: %d hops (guaranteed < 2*logN = %.1f), %d messages, %d destination peers\n",
 		res.Stats.Delay, 2*logN, res.Stats.Messages, res.Stats.DestPeers)
 
+	// The same query, streamed: matches arrive as destination peers
+	// deliver them, before the sorted result is assembled.
+	fmt.Println("\nstreaming the same query:")
+	for o, err := range net.Stream(ctx, armada.NewRange([]armada.Range{{Low: 70, High: 80}})) {
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  delivered %s (%.1f)\n", o.Name, o.Values[0])
+	}
+
 	// Exact-match lookup through the same DHT.
 	if err := net.PublishExact("syllabus.pdf"); err != nil {
 		return err
 	}
-	lr, err := net.Lookup("syllabus.pdf")
+	lr, err := net.Do(ctx, armada.NewLookup("syllabus.pdf"))
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,3 @@
+module armada
+
+go 1.24

@@ -20,6 +20,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -36,7 +37,8 @@ import (
 type Mode int
 
 // Execution modes. Sync runs the deterministic single-threaded engine used
-// by the experiments; Async runs one goroutine per peer.
+// by the experiments; Async runs one goroutine per peer. The zero Mode is
+// treated as Sync.
 const (
 	Sync Mode = iota + 1
 	Async
@@ -50,21 +52,52 @@ var (
 	ErrBadObjectID = errors.New("core: ObjectID must be a Kautz string of the network's length k")
 )
 
-// Engine executes Armada queries over a FISSIONE network. The network
-// topology must not be mutated while a query is in flight; queries
-// themselves may run concurrently with each other.
+// Engine executes Armada queries over a FISSIONE network. The engine holds
+// no per-query state: every query carries its own configuration, so any
+// number of queries — traced or not, sync or async — may run concurrently.
+// The network topology must not be mutated while a query is in flight.
 type Engine struct {
-	net   *fissione.Network
-	tree  *naming.Tree
-	mode  Mode
-	trace TraceFunc
+	net  *fissione.Network
+	tree *naming.Tree
 }
 
 // TraceFunc observes one descent hop. from is the processing peer, to the
 // forward's target; deliveries report to == from with remaining == 0. A
-// trace function installed on an engine running Async queries must be safe
-// for concurrent use.
+// trace function passed to an Async query must be safe for concurrent use.
 type TraceFunc func(from, to kautz.Str, depth, remaining int)
+
+// QueryConfig is the per-query execution configuration. The zero value runs
+// a plain synchronous query.
+type QueryConfig struct {
+	// Mode selects the execution engine (zero means Sync).
+	Mode Mode
+	// Trace, when non-nil, observes every hop of the descent.
+	Trace TraceFunc
+	// OnMatch, when non-nil, receives each matching object as its
+	// destination peer delivers it — before the final sorted result is
+	// assembled. Under Async mode it may be called concurrently.
+	OnMatch func(Match)
+}
+
+// QueryOption adjusts one query's configuration.
+type QueryOption func(*QueryConfig)
+
+// WithMode selects the execution engine for this query.
+func WithMode(m Mode) QueryOption { return func(c *QueryConfig) { c.Mode = m } }
+
+// WithTrace installs a hop observer for this query.
+func WithTrace(f TraceFunc) QueryOption { return func(c *QueryConfig) { c.Trace = f } }
+
+// WithOnMatch installs a streaming match observer for this query.
+func WithOnMatch(f func(Match)) QueryOption { return func(c *QueryConfig) { c.OnMatch = f } }
+
+func buildQueryConfig(opts []QueryOption) QueryConfig {
+	var cfg QueryConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
 
 // New creates an engine. tree may be nil for an exact-match-only engine;
 // otherwise its depth must equal the network's ObjectID length.
@@ -72,15 +105,8 @@ func New(net *fissione.Network, tree *naming.Tree) (*Engine, error) {
 	if tree != nil && tree.K() != net.K() {
 		return nil, fmt.Errorf("%w: tree k=%d, network k=%d", ErrKMismatch, tree.K(), net.K())
 	}
-	return &Engine{net: net, tree: tree, mode: Sync}, nil
+	return &Engine{net: net, tree: tree}, nil
 }
-
-// SetMode selects the default execution mode (Sync if never called).
-func (e *Engine) SetMode(m Mode) { e.mode = m }
-
-// SetTrace installs a hop observer (nil disables tracing). Must not be
-// called while queries are in flight.
-func (e *Engine) SetTrace(f TraceFunc) { e.trace = f }
 
 // Tree returns the engine's naming tree (nil for exact-match-only engines).
 func (e *Engine) Tree() *naming.Tree { return e.tree }
@@ -155,14 +181,16 @@ type queryMsg struct {
 type queryState struct {
 	mu      sync.Mutex
 	box     *naming.Box
+	cfg     QueryConfig
 	matches []Match
 	dests   []kautz.Str
 }
 
 // RangeQuery executes a range query issued by the given peer: PIRA when the
 // engine's naming tree has one attribute, MIRA otherwise. lo and hi carry
-// one bound per attribute.
-func (e *Engine) RangeQuery(issuer kautz.Str, lo, hi []float64) (*RangeResult, error) {
+// one bound per attribute. Cancelling ctx aborts the descent and returns
+// ctx's error.
+func (e *Engine) RangeQuery(ctx context.Context, issuer kautz.Str, lo, hi []float64, opts ...QueryOption) (*RangeResult, error) {
 	if e.tree == nil {
 		return nil, ErrNoTree
 	}
@@ -174,7 +202,7 @@ func (e *Engine) RangeQuery(issuer kautz.Str, lo, hi []float64) (*RangeResult, e
 	if err != nil {
 		return nil, fmt.Errorf("core: range query region: %w", err)
 	}
-	return e.descend(issuer, region, &box)
+	return e.descend(ctx, issuer, region, &box, buildQueryConfig(opts))
 }
 
 // LookupResult is the outcome of an exact-match lookup.
@@ -187,7 +215,7 @@ type LookupResult struct {
 // Lookup routes from the issuer to the peer owning objectID — FISSIONE's
 // exact-match query, executed as the degenerate range ⟨objectID, objectID⟩
 // — and returns the objects published under it.
-func (e *Engine) Lookup(issuer kautz.Str, objectID kautz.Str) (*LookupResult, error) {
+func (e *Engine) Lookup(ctx context.Context, issuer kautz.Str, objectID kautz.Str, opts ...QueryOption) (*LookupResult, error) {
 	if len(objectID) != e.net.K() || !kautz.Valid(objectID) {
 		return nil, fmt.Errorf("%w: %q", ErrBadObjectID, objectID)
 	}
@@ -195,7 +223,7 @@ func (e *Engine) Lookup(issuer kautz.Str, objectID kautz.Str) (*LookupResult, er
 	if err != nil {
 		return nil, err
 	}
-	res, err := e.descend(issuer, region, nil)
+	res, err := e.descend(ctx, issuer, region, nil, buildQueryConfig(opts))
 	if err != nil {
 		return nil, err
 	}
@@ -211,12 +239,12 @@ func (e *Engine) Lookup(issuer kautz.Str, objectID kautz.Str) (*LookupResult, er
 
 // descend runs the pruned FRT search from the issuer over the query region,
 // additionally pruning with the box's subspace predicate when box is
-// non-nil.
-func (e *Engine) descend(issuer kautz.Str, region kautz.Region, box *naming.Box) (*RangeResult, error) {
+// non-nil. The per-query cfg selects the execution mode and observers.
+func (e *Engine) descend(ctx context.Context, issuer kautz.Str, region kautz.Region, box *naming.Box, cfg QueryConfig) (*RangeResult, error) {
 	if _, ok := e.net.Peer(issuer); !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoSuchPeer, issuer)
 	}
-	state := &queryState{box: box}
+	state := &queryState{box: box, cfg: cfg}
 	parts := region.SplitByFirstSymbol()
 
 	seeds := make([]simnet.Message, 0, len(parts))
@@ -231,19 +259,35 @@ func (e *Engine) descend(issuer kautz.Str, region kautz.Region, box *naming.Box)
 
 	handle := func(m simnet.Message) []simnet.Message { return e.step(state, m) }
 
-	var metrics simnet.Metrics
-	if e.mode == Async {
+	metrics, err := e.run(ctx, cfg, seeds, handle)
+	if err != nil {
+		return nil, err
+	}
+
+	return state.result(metrics, len(parts)), nil
+}
+
+// run executes one set of seed messages on the engine selected by the
+// query's configuration.
+func (e *Engine) run(ctx context.Context, cfg QueryConfig, seeds []simnet.Message, handle simnet.Handler) (simnet.Metrics, error) {
+	var (
+		metrics simnet.Metrics
+		err     error
+	)
+	if cfg.Mode == Async {
 		ids := e.net.PeerIDs()
 		strIDs := make([]string, len(ids))
 		for i, id := range ids {
 			strIDs[i] = string(id)
 		}
-		metrics = simnet.RunAsync(strIDs, seeds, handle)
+		metrics, err = simnet.RunAsync(ctx, strIDs, seeds, handle)
 	} else {
-		metrics = simnet.RunSync(seeds, handle)
+		metrics, err = simnet.RunSync(ctx, seeds, handle)
 	}
-
-	return state.result(metrics, len(parts)), nil
+	if err != nil {
+		return metrics, fmt.Errorf("core: query aborted: %w", err)
+	}
+	return metrics, nil
 }
 
 // step processes one descent message at its destination peer and returns
@@ -258,8 +302,8 @@ func (e *Engine) step(state *queryState, m simnet.Message) []simnet.Message {
 		return nil
 	}
 	if qm.h == 0 {
-		if e.trace != nil {
-			e.trace(peer.ID(), peer.ID(), m.Depth, 0)
+		if state.cfg.Trace != nil {
+			state.cfg.Trace(peer.ID(), peer.ID(), m.Depth, 0)
 		}
 		state.deliver(peer, qm.region)
 		return nil
@@ -273,8 +317,8 @@ func (e *Engine) step(state *queryState, m simnet.Message) []simnet.Message {
 		if state.box != nil && !e.prefixIntersectsBox(ep, *state.box) {
 			continue
 		}
-		if e.trace != nil {
-			e.trace(peer.ID(), c, m.Depth, qm.h-1)
+		if state.cfg.Trace != nil {
+			state.cfg.Trace(peer.ID(), c, m.Depth, qm.h-1)
 		}
 		fwd = append(fwd, simnet.Message{To: string(c), Payload: queryMsg{region: qm.region, h: qm.h - 1}})
 	}
@@ -292,11 +336,11 @@ func (e *Engine) prefixIntersectsBox(prefix kautz.Str, box naming.Box) bool {
 }
 
 // deliver records the peer as a destination and collects its matching
-// objects.
+// objects, notifying the query's OnMatch observer outside the state lock.
 func (state *queryState) deliver(peer *fissione.Peer, region kautz.Region) {
 	stored := peer.ObjectsInRegion(region)
+	var delivered []Match
 	state.mu.Lock()
-	defer state.mu.Unlock()
 	state.dests = append(state.dests, peer.ID())
 	for _, so := range stored {
 		if state.box != nil {
@@ -304,12 +348,20 @@ func (state *queryState) deliver(peer *fissione.Peer, region kautz.Region) {
 				continue
 			}
 		}
-		state.matches = append(state.matches, Match{
+		m := Match{
 			ObjectID: so.ObjectID,
 			Name:     so.Object.Name,
 			Values:   append([]float64(nil), so.Object.Values...),
 			Peer:     peer.ID(),
-		})
+		}
+		state.matches = append(state.matches, m)
+		if state.cfg.OnMatch != nil {
+			delivered = append(delivered, m)
+		}
+	}
+	state.mu.Unlock()
+	for _, m := range delivered {
+		state.cfg.OnMatch(m)
 	}
 }
 

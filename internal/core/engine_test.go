@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -74,14 +75,14 @@ func TestRangeQueryRequiresTree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := eng.RangeQuery("0", []float64{1}, []float64{2}); err == nil {
+	if _, err := eng.RangeQuery(context.Background(), "0", []float64{1}, []float64{2}); err == nil {
 		t.Error("range query without tree accepted")
 	}
 }
 
 func TestRangeQueryUnknownIssuer(t *testing.T) {
 	eng, _ := buildSingle(t, 16, 0, 5)
-	if _, err := eng.RangeQuery("01010101", []float64{0}, []float64{10}); err == nil {
+	if _, err := eng.RangeQuery(context.Background(), "01010101", []float64{0}, []float64{10}); err == nil {
 		t.Error("unknown issuer accepted")
 	}
 }
@@ -96,7 +97,7 @@ func TestPIRACompleteness(t *testing.T) {
 			lo := rng.Float64() * 1000
 			hi := lo + rng.Float64()*(1000-lo)
 			issuer := eng.Network().RandomPeer(rng)
-			res, err := eng.RangeQuery(issuer, []float64{lo}, []float64{hi})
+			res, err := eng.RangeQuery(context.Background(), issuer, []float64{lo}, []float64{hi})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -136,7 +137,7 @@ func TestPIRADestinationsExact(t *testing.T) {
 			t.Fatal(err)
 		}
 		issuer := eng.Network().RandomPeer(rng)
-		res, err := eng.RangeQuery(issuer, []float64{lo}, []float64{hi})
+		res, err := eng.RangeQuery(context.Background(), issuer, []float64{lo}, []float64{hi})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -169,7 +170,7 @@ func TestPIRADelayBound(t *testing.T) {
 			width := []float64{2, 20, 200, 900}[trial%4]
 			lo := rng.Float64() * (1000 - width)
 			issuer := eng.Network().RandomPeer(rng)
-			res, err := eng.RangeQuery(issuer, []float64{lo}, []float64{lo + width})
+			res, err := eng.RangeQuery(context.Background(), issuer, []float64{lo}, []float64{lo + width})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -196,7 +197,7 @@ func TestPIRAMessageCost(t *testing.T) {
 	for trial := 0; trial < 150; trial++ {
 		lo := rng.Float64() * 900
 		issuer := eng.Network().RandomPeer(rng)
-		res, err := eng.RangeQuery(issuer, []float64{lo}, []float64{lo + 100})
+		res, err := eng.RangeQuery(context.Background(), issuer, []float64{lo}, []float64{lo + 100})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -214,7 +215,7 @@ func TestPIRAMessageCost(t *testing.T) {
 func TestPIRAFullSpaceQuery(t *testing.T) {
 	eng, objs := buildSingle(t, 60, 100, 101)
 	issuer := eng.Network().RandomPeer(nil)
-	res, err := eng.RangeQuery(issuer, []float64{0}, []float64{1000})
+	res, err := eng.RangeQuery(context.Background(), issuer, []float64{0}, []float64{1000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +237,7 @@ func TestPIRAPointQuery(t *testing.T) {
 	for trial := 0; trial < 30; trial++ {
 		v := rng.Float64() * 1000
 		issuer := eng.Network().RandomPeer(rng)
-		res, err := eng.RangeQuery(issuer, []float64{v}, []float64{v})
+		res, err := eng.RangeQuery(context.Background(), issuer, []float64{v}, []float64{v})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -266,7 +267,7 @@ func TestLookup(t *testing.T) {
 			t.Fatal(err)
 		}
 		issuer := net.RandomPeer(rng)
-		res, err := eng.Lookup(issuer, oid)
+		res, err := eng.Lookup(context.Background(), issuer, oid)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -300,7 +301,7 @@ func TestLookupRejectsBadObjectID(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := eng.Lookup("0", "0101"); err == nil {
+	if _, err := eng.Lookup(context.Background(), "0", "0101"); err == nil {
 		t.Error("short ObjectID accepted")
 	}
 }
@@ -316,7 +317,7 @@ func TestQueryFromOwningPeer(t *testing.T) {
 		t.Fatal(err)
 	}
 	mid := (iv[0].Low + iv[0].High) / 2
-	res, err := eng.RangeQuery(id, []float64{mid}, []float64{mid})
+	res, err := eng.RangeQuery(context.Background(), id, []float64{mid}, []float64{mid})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -363,7 +364,7 @@ func TestMIRACompleteness(t *testing.T) {
 		lo := []float64{rng.Float64() * 100, rng.Float64() * 10}
 		hi := []float64{lo[0] + rng.Float64()*(100-lo[0]), lo[1] + rng.Float64()*(10-lo[1])}
 		issuer := net.RandomPeer(rng)
-		res, err := eng.RangeQuery(issuer, lo, hi)
+		res, err := eng.RangeQuery(context.Background(), issuer, lo, hi)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -415,7 +416,7 @@ func TestMIRADelayBound(t *testing.T) {
 			lo[2] + rng.Float64()*(1-lo[2]),
 		}
 		issuer := net.RandomPeer(rng)
-		res, err := eng.RangeQuery(issuer, lo, hi)
+		res, err := eng.RangeQuery(context.Background(), issuer, lo, hi)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -439,14 +440,11 @@ func TestAsyncMatchesSync(t *testing.T) {
 		hi := lo + rng.Float64()*(1000-lo)
 		issuer := eng.Network().RandomPeer(rng)
 
-		eng.SetMode(Sync)
-		syncRes, err := eng.RangeQuery(issuer, []float64{lo}, []float64{hi})
+		syncRes, err := eng.RangeQuery(context.Background(), issuer, []float64{lo}, []float64{hi})
 		if err != nil {
 			t.Fatal(err)
 		}
-		eng.SetMode(Async)
-		asyncRes, err := eng.RangeQuery(issuer, []float64{lo}, []float64{hi})
-		eng.SetMode(Sync)
+		asyncRes, err := eng.RangeQuery(context.Background(), issuer, []float64{lo}, []float64{hi}, WithMode(Async))
 		if err != nil {
 			t.Fatal(err)
 		}

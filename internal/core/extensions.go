@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -29,8 +30,11 @@ type TopKResult struct {
 // [lo, hi], issued by the given peer. The descent walks the region's
 // subregions from the high end and short-circuits once k matches have been
 // collected from regions that can only hold larger values than those
-// remaining; the delay bound is PIRA's.
-func (e *Engine) TopK(issuer kautz.Str, lo, hi []float64, k int) (*TopKResult, error) {
+// remaining; the delay bound is PIRA's. Cancelling ctx aborts the descent.
+// The subregion walk is inherently sequential (each short-circuits the
+// next), so top-k always runs the deterministic synchronous engine and
+// ignores WithMode.
+func (e *Engine) TopK(ctx context.Context, issuer kautz.Str, lo, hi []float64, k int, opts ...QueryOption) (*TopKResult, error) {
 	if e.tree == nil {
 		return nil, ErrNoTree
 	}
@@ -49,7 +53,7 @@ func (e *Engine) TopK(issuer kautz.Str, lo, hi []float64, k int) (*TopKResult, e
 		return nil, fmt.Errorf("%w: %q", ErrNoSuchPeer, issuer)
 	}
 
-	state := &queryState{box: &box}
+	state := &queryState{box: &box, cfg: buildQueryConfig(opts)}
 	// Process subregions from the high end: once a subregion yields k
 	// matches, lower subregions cannot contribute to the top k (the naming
 	// is order-preserving, so higher regions hold higher values).
@@ -60,9 +64,12 @@ func (e *Engine) TopK(issuer kautz.Str, lo, hi []float64, k int) (*TopKResult, e
 		part := parts[i]
 		f := kautz.OverlapSuffixPrefix(issuer, part.CommonPrefix())
 		seed := simnet.Message{To: string(issuer), Payload: queryMsg{region: part, h: len(issuer) - f}}
-		m := simnet.RunSync([]simnet.Message{seed}, func(msg simnet.Message) []simnet.Message {
+		m, err := simnet.RunSync(ctx, []simnet.Message{seed}, func(msg simnet.Message) []simnet.Message {
 			return e.step(state, msg)
 		})
+		if err != nil {
+			return nil, fmt.Errorf("core: query aborted: %w", err)
+		}
 		metrics = simnet.MergeMetrics(metrics, m)
 		ran++
 		state.mu.Lock()
@@ -92,7 +99,7 @@ func (e *Engine) TopK(issuer kautz.Str, lo, hi []float64, k int) (*TopKResult, e
 // level, and matching happens only at delivery. It returns the same result
 // set as RangeQuery at a much higher message cost; it exists to measure the
 // value of pruning and must not be used for real queries.
-func (e *Engine) FloodQuery(issuer kautz.Str, lo, hi []float64) (*RangeResult, error) {
+func (e *Engine) FloodQuery(ctx context.Context, issuer kautz.Str, lo, hi []float64, opts ...QueryOption) (*RangeResult, error) {
 	if e.tree == nil {
 		return nil, ErrNoTree
 	}
@@ -107,7 +114,8 @@ func (e *Engine) FloodQuery(issuer kautz.Str, lo, hi []float64) (*RangeResult, e
 	if _, ok := e.net.Peer(issuer); !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoSuchPeer, issuer)
 	}
-	state := &queryState{box: &box}
+	cfg := buildQueryConfig(opts)
+	state := &queryState{box: &box, cfg: cfg}
 	parts := region.SplitByFirstSymbol()
 	seeds := make([]simnet.Message, 0, len(parts))
 	for _, part := range parts {
@@ -130,16 +138,25 @@ func (e *Engine) FloodQuery(issuer kautz.Str, lo, hi []float64) (*RangeResult, e
 			// Deliver only where the region predicate holds, so results and
 			// destination counts stay comparable with RangeQuery.
 			if qm.region.ContainsPrefix(peer.ID()) {
+				if cfg.Trace != nil {
+					cfg.Trace(peer.ID(), peer.ID(), m.Depth, 0)
+				}
 				state.deliver(peer, qm.region)
 			}
 			return nil
 		}
 		fwd := make([]simnet.Message, 0, len(peer.Out()))
 		for _, c := range peer.Out() {
+			if cfg.Trace != nil {
+				cfg.Trace(peer.ID(), c, m.Depth, qm.h-1)
+			}
 			fwd = append(fwd, simnet.Message{To: string(c), Payload: queryMsg{region: qm.region, h: qm.h - 1}})
 		}
 		return fwd
 	}
-	metrics := simnet.RunSync(seeds, handle)
+	metrics, err := e.run(ctx, cfg, seeds, handle)
+	if err != nil {
+		return nil, err
+	}
 	return state.result(metrics, len(parts)), nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 	"testing"
@@ -14,7 +15,7 @@ func TestTopKReturnsHighestValues(t *testing.T) {
 		hi := lo + 100 + rng.Float64()*(1000-lo-100)
 		k := 1 + rng.Intn(10)
 		issuer := eng.Network().RandomPeer(rng)
-		res, err := eng.TopK(issuer, []float64{lo}, []float64{hi}, k)
+		res, err := eng.TopK(context.Background(), issuer, []float64{lo}, []float64{hi}, k)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -42,10 +43,10 @@ func TestTopKReturnsHighestValues(t *testing.T) {
 
 func TestTopKValidation(t *testing.T) {
 	eng, _ := buildSingle(t, 16, 0, 203)
-	if _, err := eng.TopK(eng.Network().PeerIDs()[0], []float64{0}, []float64{10}, 0); err == nil {
+	if _, err := eng.TopK(context.Background(), eng.Network().PeerIDs()[0], []float64{0}, []float64{10}, 0); err == nil {
 		t.Error("k=0 accepted")
 	}
-	if _, err := eng.TopK("01010101010", []float64{0}, []float64{10}, 3); err == nil {
+	if _, err := eng.TopK(context.Background(), "01010101010", []float64{0}, []float64{10}, 3); err == nil {
 		t.Error("unknown issuer accepted")
 	}
 }
@@ -55,7 +56,7 @@ func TestTopKDelayBounded(t *testing.T) {
 	rng := rand.New(rand.NewSource(206))
 	for trial := 0; trial < 20; trial++ {
 		issuer := eng.Network().RandomPeer(rng)
-		res, err := eng.TopK(issuer, []float64{0}, []float64{1000}, 5)
+		res, err := eng.TopK(context.Background(), issuer, []float64{0}, []float64{1000}, 5)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -74,11 +75,11 @@ func TestFloodQueryMatchesRangeQuery(t *testing.T) {
 		lo := rng.Float64() * 900
 		hi := lo + rng.Float64()*(1000-lo)
 		issuer := eng.Network().RandomPeer(rng)
-		pruned, err := eng.RangeQuery(issuer, []float64{lo}, []float64{hi})
+		pruned, err := eng.RangeQuery(context.Background(), issuer, []float64{lo}, []float64{hi})
 		if err != nil {
 			t.Fatal(err)
 		}
-		flooded, err := eng.FloodQuery(issuer, []float64{lo}, []float64{hi})
+		flooded, err := eng.FloodQuery(context.Background(), issuer, []float64{lo}, []float64{hi})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -28,7 +29,7 @@ func TestRoutingDelay(t *testing.T) {
 		const trials = 300
 		for i := 0; i < trials; i++ {
 			oid := kautz.Random(rng, testK)
-			res, err := eng.Lookup(net.RandomPeer(rng), oid)
+			res, err := eng.Lookup(context.Background(), net.RandomPeer(rng), oid)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -59,7 +60,7 @@ func TestRoutingConverges(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, issuer := range net.PeerIDs() {
-		res, err := eng.Lookup(issuer, oid)
+		res, err := eng.Lookup(context.Background(), issuer, oid)
 		if err != nil {
 			t.Fatalf("lookup from %q: %v", issuer, err)
 		}
@@ -89,12 +90,12 @@ func TestOverlapShortensRoutes(t *testing.T) {
 		// so the route length is at most |issuer| − f = 0 extra shifts plus
 		// the appended part.
 		aligned := kautz.MaxExtend(issuer, testK)
-		resAligned, err := eng.Lookup(issuer, aligned)
+		resAligned, err := eng.Lookup(context.Background(), issuer, aligned)
 		if err != nil {
 			t.Fatal(err)
 		}
 		random := kautz.Random(rng, testK)
-		resRandom, err := eng.Lookup(issuer, random)
+		resRandom, err := eng.Lookup(context.Background(), issuer, random)
 		if err != nil {
 			t.Fatal(err)
 		}

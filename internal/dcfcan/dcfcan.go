@@ -176,9 +176,9 @@ func (s *Scheme) RangeQuery(issuer string, lo, hi float64) (*Result, error) {
 		}
 		return fwd
 	}
-	floodMetrics := simnet.RunSync([]simnet.Message{
+	floodMetrics, _ := simnet.RunSync(nil, []simnet.Message{
 		{To: medianZone, Payload: floodMsg{lo: iLo, hi: iHi}},
-	}, handle)
+	}, handle) // nil ctx: the baseline never cancels
 
 	sort.Strings(res.Destinations)
 	sort.Slice(res.Matches, func(i, j int) bool {

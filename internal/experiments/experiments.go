@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -135,7 +136,7 @@ func runPoint(cfg Config, netSize, rangeSize int, seed int64) (*pointMetrics, er
 	for q := 0; q < cfg.Queries; q++ {
 		lo := cfg.SpaceLow + rng.Float64()*(cfg.SpaceHigh-cfg.SpaceLow-width)
 		issuer := net.RandomPeer(rng)
-		res, err := eng.RangeQuery(issuer, []float64{lo}, []float64{lo + width})
+		res, err := eng.RangeQuery(context.Background(), issuer, []float64{lo}, []float64{lo + width})
 		if err != nil {
 			return nil, err
 		}

@@ -18,6 +18,7 @@
 package pht
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -128,7 +129,7 @@ func (t *Tree) prefixOf(key uint32, l int) string {
 func (t *Tree) access(label string, create bool, stats *Stats) (*node, int) {
 	issuer := t.eng.Network().RandomPeer(t.rng)
 	oid := kautz.Hash("pht:"+label, t.eng.Network().K())
-	res, err := t.eng.Lookup(issuer, oid)
+	res, err := t.eng.Lookup(context.Background(), issuer, oid)
 	hops := 0
 	if err == nil {
 		hops = res.Stats.Delay

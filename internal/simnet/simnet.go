@@ -16,6 +16,7 @@
 package simnet
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -53,7 +54,13 @@ func (m *Metrics) merge(o Metrics) {
 // RunSync executes the query breadth-first in a single goroutine. Messages
 // at equal depth are processed in insertion order, so a deterministic
 // handler yields a deterministic trace.
-func RunSync(seeds []Message, handle Handler) Metrics {
+//
+// Cancelling ctx stops the run between messages; the metrics accumulated so
+// far are returned together with ctx's error. A nil ctx never cancels.
+func RunSync(ctx context.Context, seeds []Message, handle Handler) (Metrics, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var metrics Metrics
 	queue := make([]Message, 0, len(seeds))
 	for _, s := range seeds {
@@ -61,6 +68,9 @@ func RunSync(seeds []Message, handle Handler) Metrics {
 		queue = append(queue, s)
 	}
 	for len(queue) > 0 {
+		if err := ctx.Err(); err != nil {
+			return metrics, err
+		}
 		m := queue[0]
 		queue = queue[1:]
 		if m.Depth > metrics.Delay {
@@ -74,7 +84,7 @@ func RunSync(seeds []Message, handle Handler) Metrics {
 			queue = append(queue, f)
 		}
 	}
-	return metrics
+	return metrics, nil
 }
 
 // RunAsync executes the query with one goroutine per participating peer.
@@ -86,7 +96,14 @@ func RunSync(seeds []Message, handle Handler) Metrics {
 //
 // peerIDs must contain every address the query can reach. The returned
 // metrics equal RunSync's for the same query.
-func RunAsync(peerIDs []string, seeds []Message, handle Handler) Metrics {
+//
+// Cancelling ctx closes every mailbox, draining the run early; the metrics
+// accumulated so far are returned together with ctx's error. A nil ctx
+// never cancels.
+func RunAsync(ctx context.Context, peerIDs []string, seeds []Message, handle Handler) (Metrics, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	boxes := make(map[string]*mailbox, len(peerIDs))
 	for _, id := range peerIDs {
 		boxes[id] = newMailbox()
@@ -96,6 +113,7 @@ func RunAsync(peerIDs []string, seeds []Message, handle Handler) Metrics {
 		outstanding atomic.Int64
 		delay       atomic.Int64
 		messages    atomic.Int64
+		completed   atomic.Bool // the run drained naturally (not cancelled)
 		wg          sync.WaitGroup
 	)
 	outstanding.Store(int64(len(seeds)))
@@ -105,6 +123,16 @@ func RunAsync(peerIDs []string, seeds []Message, handle Handler) Metrics {
 			b.close()
 		}
 	}
+
+	// Cancellation watcher: closing every mailbox unblocks all workers.
+	watcherDone := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			closeAll()
+		case <-watcherDone:
+		}
+	}()
 
 	for _, b := range boxes {
 		wg.Add(1)
@@ -138,6 +166,7 @@ func RunAsync(peerIDs []string, seeds []Message, handle Handler) Metrics {
 					dst.push(f)
 				}
 				if outstanding.Add(-1) == 0 {
+					completed.Store(true)
 					closeAll()
 					return
 				}
@@ -146,6 +175,7 @@ func RunAsync(peerIDs []string, seeds []Message, handle Handler) Metrics {
 	}
 
 	if len(seeds) == 0 {
+		completed.Store(true)
 		closeAll()
 	}
 	for _, s := range seeds {
@@ -157,7 +187,14 @@ func RunAsync(peerIDs []string, seeds []Message, handle Handler) Metrics {
 		dst.push(s)
 	}
 	wg.Wait()
-	return Metrics{Delay: int(delay.Load()), Messages: int(messages.Load())}
+	close(watcherDone)
+	m := Metrics{Delay: int(delay.Load()), Messages: int(messages.Load())}
+	// A run that drained naturally is complete even if ctx cancelled in the
+	// same instant — only report an error when cancellation cut it short.
+	if !completed.Load() {
+		return m, ctx.Err()
+	}
+	return m, nil
 }
 
 // mailbox is an unbounded FIFO queue with blocking pop. Unboundedness

@@ -1,6 +1,8 @@
 package simnet
 
 import (
+	"context"
+	"errors"
 	"strconv"
 	"sync"
 	"testing"
@@ -25,17 +27,37 @@ func chainPeers(n int) []string {
 	return ids
 }
 
+// mustSync runs RunSync with a background context and fails on error.
+func mustSync(t *testing.T, seeds []Message, handle Handler) Metrics {
+	t.Helper()
+	m, err := RunSync(context.Background(), seeds, handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
 func TestRunSyncChain(t *testing.T) {
-	m := RunSync([]Message{{To: "p0", Payload: 0}}, chainHandler(5))
+	m := mustSync(t, []Message{{To: "p0", Payload: 0}}, chainHandler(5))
 	if m.Delay != 5 || m.Messages != 5 {
 		t.Fatalf("chain metrics = %+v, want delay 5 messages 5", m)
 	}
 }
 
 func TestRunSyncSeedOnly(t *testing.T) {
-	m := RunSync([]Message{{To: "a", Payload: nil}}, func(Message) []Message { return nil })
+	m := mustSync(t, []Message{{To: "a", Payload: nil}}, func(Message) []Message { return nil })
 	if m.Delay != 0 || m.Messages != 0 {
 		t.Fatalf("seed-only metrics = %+v, want zeros", m)
+	}
+}
+
+func TestRunSyncNilContext(t *testing.T) {
+	m, err := RunSync(nil, []Message{{To: "p0", Payload: 0}}, chainHandler(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Delay != 3 {
+		t.Fatalf("nil-ctx metrics = %+v", m)
 	}
 }
 
@@ -51,14 +73,14 @@ func TestRunSyncFanout(t *testing.T) {
 			return nil
 		}
 	}
-	m := RunSync([]Message{{To: "root", Payload: 0}}, handle)
+	m := mustSync(t, []Message{{To: "root", Payload: 0}}, handle)
 	if m.Delay != 2 || m.Messages != 9 {
 		t.Fatalf("fanout metrics = %+v, want delay 2 messages 9", m)
 	}
 }
 
 func TestRunSyncMultipleSeeds(t *testing.T) {
-	m := RunSync([]Message{
+	m := mustSync(t, []Message{
 		{To: "p0", Payload: 3}, // short chain: 2 hops
 		{To: "p0", Payload: 0}, // full chain: 5 hops
 	}, chainHandler(5))
@@ -79,7 +101,7 @@ func TestRunSyncDeterministicOrder(t *testing.T) {
 		}
 		return nil
 	}
-	RunSync([]Message{{To: "root"}}, handle)
+	mustSync(t, []Message{{To: "root"}}, handle)
 	want := []string{"root", "a", "b", "c"}
 	if len(trace) != len(want) {
 		t.Fatalf("trace = %v", trace)
@@ -91,11 +113,36 @@ func TestRunSyncDeterministicOrder(t *testing.T) {
 	}
 }
 
+func TestRunSyncCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	processed := 0
+	handle := func(m Message) []Message {
+		processed++
+		if processed == 3 {
+			cancel()
+		}
+		return chainHandler(50)(m)
+	}
+	m, err := RunSync(ctx, []Message{{To: "p0", Payload: 0}}, handle)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if processed != 3 {
+		t.Fatalf("processed %d messages after cancel, want 3", processed)
+	}
+	if m.Messages >= 50 {
+		t.Fatalf("cancelled run counted %d messages", m.Messages)
+	}
+}
+
 func TestRunAsyncMatchesSyncChain(t *testing.T) {
-	sync := RunSync([]Message{{To: "p0", Payload: 0}}, chainHandler(20))
-	async := RunAsync(chainPeers(20), []Message{{To: "p0", Payload: 0}}, chainHandler(20))
-	if sync != async {
-		t.Fatalf("async %+v != sync %+v", async, sync)
+	syncM := mustSync(t, []Message{{To: "p0", Payload: 0}}, chainHandler(20))
+	asyncM, err := RunAsync(context.Background(), chainPeers(20), []Message{{To: "p0", Payload: 0}}, chainHandler(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if syncM != asyncM {
+		t.Fatalf("async %+v != sync %+v", asyncM, syncM)
 	}
 }
 
@@ -118,7 +165,10 @@ func TestRunAsyncFanoutCounts(t *testing.T) {
 			{To: addr(p.d+1, p.i*2+1), Payload: pos{p.d + 1, p.i*2 + 1}},
 		}
 	}
-	m := RunAsync(peers, []Message{{To: "seed", Payload: pos{0, 0}}}, handle)
+	m, err := RunAsync(context.Background(), peers, []Message{{To: "seed", Payload: pos{0, 0}}}, handle)
+	if err != nil {
+		t.Fatal(err)
+	}
 	wantMsgs := 0
 	for d := 1; d <= 8; d++ {
 		wantMsgs += 1 << d
@@ -129,9 +179,60 @@ func TestRunAsyncFanoutCounts(t *testing.T) {
 }
 
 func TestRunAsyncNoSeeds(t *testing.T) {
-	m := RunAsync([]string{"a", "b"}, nil, func(Message) []Message { return nil })
+	m, err := RunAsync(context.Background(), []string{"a", "b"}, nil, func(Message) []Message { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
 	if m.Delay != 0 || m.Messages != 0 {
 		t.Fatalf("empty async = %+v", m)
+	}
+}
+
+func TestRunAsyncCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var (
+		mu        sync.Mutex
+		processed int
+	)
+	handle := func(m Message) []Message {
+		mu.Lock()
+		processed++
+		if processed == 3 {
+			cancel()
+		}
+		mu.Unlock()
+		return chainHandler(500)(m)
+	}
+	_, err := RunAsync(ctx, chainPeers(500), []Message{{To: "p0", Payload: 0}}, handle)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if processed >= 500 {
+		t.Fatalf("cancelled run still processed all %d messages", processed)
+	}
+}
+
+// A cancellation that lands while the final message is already being
+// processed must not turn a complete run into an error.
+func TestRunAsyncCancelAtCompletion(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	handle := func(m Message) []Message {
+		i := m.Payload.(int)
+		if i >= 5 {
+			cancel() // fires as the last message is handled
+			return nil
+		}
+		return []Message{{To: "p" + strconv.Itoa(i+1), Payload: i + 1}}
+	}
+	m, err := RunAsync(ctx, chainPeers(5), []Message{{To: "p0", Payload: 0}}, handle)
+	if err != nil {
+		t.Fatalf("completed run reported error %v", err)
+	}
+	if m.Delay != 5 || m.Messages != 5 {
+		t.Fatalf("metrics = %+v, want delay 5 messages 5", m)
 	}
 }
 
@@ -153,7 +254,9 @@ func TestRunAsyncConcurrentHandlerSafety(t *testing.T) {
 		}
 		return []Message{{To: peers[i+1], Payload: i + 1}}
 	}
-	RunAsync(peers, []Message{{To: "p0", Payload: 0}}, handle)
+	if _, err := RunAsync(context.Background(), peers, []Message{{To: "p0", Payload: 0}}, handle); err != nil {
+		t.Fatal(err)
+	}
 	if count != 51 {
 		t.Fatalf("handler ran %d times, want 51", count)
 	}

@@ -1,0 +1,132 @@
+package armada
+
+import "fmt"
+
+// QueryKind identifies the query algorithm a Query requests.
+type QueryKind int
+
+// Query kinds. The zero kind is inferred by Do: KindLookup when Name is
+// set, KindTopK when K is set, KindRange otherwise.
+const (
+	// KindLookup is an exact-match lookup of a name (FISSIONE routing).
+	KindLookup QueryKind = iota + 1
+	// KindRange is a range query: PIRA over one attribute, MIRA over
+	// several.
+	KindRange
+	// KindTopK returns the K objects with the largest first-attribute
+	// values inside the ranges.
+	KindTopK
+	// KindFlood is the unpruned FRT flood — an ablation that returns the
+	// same results as KindRange at a much higher message cost. It exists
+	// to measure the value of pruning; do not use it for real queries.
+	KindFlood
+)
+
+// String names the kind for errors and logs.
+func (k QueryKind) String() string {
+	switch k {
+	case KindLookup:
+		return "lookup"
+	case KindRange:
+		return "range"
+	case KindTopK:
+		return "top-k"
+	case KindFlood:
+		return "flood"
+	default:
+		return fmt.Sprintf("QueryKind(%d)", int(k))
+	}
+}
+
+// Hop is one observed overlay message of a traced query.
+type Hop struct {
+	// From is the peer that processed the message; To is the forward's
+	// target. A delivery (the query reaching a destination peer) has
+	// To == From and Remaining == 0.
+	From, To string
+	// Depth is the hop count from the issuer; Remaining is the number of
+	// hops left to the destination level of the forward routing tree.
+	Depth, Remaining int
+}
+
+// Query is one self-contained query request, executed by Network.Do or
+// Network.Stream. A Query holds no references into the network, so the same
+// value may be executed any number of times, concurrently, on any network.
+//
+// Build one with NewLookup or NewRange plus options, or fill the fields
+// directly.
+type Query struct {
+	// Kind selects the algorithm. Zero is inferred: KindLookup when Name
+	// is set, KindTopK when K is set, KindRange otherwise.
+	Kind QueryKind
+	// Name is the exact-match target (KindLookup only).
+	Name string
+	// Ranges carries one queried interval per configured attribute
+	// (all kinds except KindLookup).
+	Ranges []Range
+	// Issuer is the peer the query starts from; empty means a uniformly
+	// random peer.
+	Issuer string
+	// K is the result limit for KindTopK.
+	K int
+	// Trace, when non-nil, observes every overlay message of the query.
+	// Queries on an async network may invoke it concurrently.
+	Trace func(Hop)
+}
+
+// QueryOption adjusts one Query.
+type QueryOption func(*Query)
+
+// WithIssuer makes the query start from the identified peer instead of a
+// random one.
+func WithIssuer(id string) QueryOption { return func(q *Query) { q.Issuer = id } }
+
+// WithTrace installs a hop observer on the query. Queries on an async
+// network may invoke fn concurrently.
+func WithTrace(fn func(Hop)) QueryOption { return func(q *Query) { q.Trace = fn } }
+
+// WithTopK turns a range query into a top-k query returning at most k
+// objects with the largest first-attribute values.
+func WithTopK(k int) QueryOption {
+	return func(q *Query) {
+		q.Kind = KindTopK
+		q.K = k
+	}
+}
+
+// WithFlood turns a range query into the unpruned flood ablation.
+func WithFlood() QueryOption { return func(q *Query) { q.Kind = KindFlood } }
+
+// NewLookup builds an exact-match lookup query for name.
+func NewLookup(name string, opts ...QueryOption) Query {
+	q := Query{Kind: KindLookup, Name: name}
+	for _, o := range opts {
+		o(&q)
+	}
+	return q
+}
+
+// NewRange builds a range query, one Range per configured attribute.
+// Single-attribute queries run PIRA; multi-attribute queries run MIRA.
+// Options may retarget the kind (WithTopK, WithFlood).
+func NewRange(ranges []Range, opts ...QueryOption) Query {
+	q := Query{Kind: KindRange, Ranges: append([]Range(nil), ranges...)}
+	for _, o := range opts {
+		o(&q)
+	}
+	return q
+}
+
+// kind resolves the effective kind of the query.
+func (q Query) kind() QueryKind {
+	if q.Kind != 0 {
+		return q.Kind
+	}
+	if q.Name != "" {
+		return KindLookup
+	}
+	if q.K > 0 {
+		return KindTopK
+	}
+	return KindRange
+}

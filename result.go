@@ -60,15 +60,18 @@ func (s Stats) IncreRatio(networkSize int) float64 {
 	return (float64(s.Messages) - math.Log2(float64(networkSize))) / float64(s.DestPeers-1)
 }
 
-// Result is the outcome of a range or top-k query.
+// Result is the outcome of one executed Query, whatever its kind.
 type Result struct {
 	// Objects are the matching objects. Range queries sort them by
 	// (ObjectID, Name); top-k queries sort them by descending first
-	// attribute.
+	// attribute; lookups return the objects published under the looked-up
+	// ObjectID.
 	Objects []Object
 	// Destinations are the distinct peers that received the query,
-	// ascending (empty for top-k results).
+	// ascending (empty for top-k and lookup results).
 	Destinations []string
+	// Owner is the peer owning the looked-up ObjectID (lookups only).
+	Owner string
 	// Stats carries the query's cost metrics.
 	Stats Stats
 }
@@ -92,12 +95,14 @@ func statsOf(s core.Stats) Stats {
 	}
 }
 
+func objectOf(m core.Match) Object {
+	return Object{Name: m.Name, Values: m.Values, ID: string(m.ObjectID), Peer: string(m.Peer)}
+}
+
 func resultOf(r *core.RangeResult) *Result {
 	out := &Result{Stats: statsOf(r.Stats)}
 	for _, m := range r.Matches {
-		out.Objects = append(out.Objects, Object{
-			Name: m.Name, Values: m.Values, ID: string(m.ObjectID), Peer: string(m.Peer),
-		})
+		out.Objects = append(out.Objects, objectOf(m))
 	}
 	for _, d := range r.Destinations {
 		out.Destinations = append(out.Destinations, string(d))
