@@ -48,10 +48,11 @@ import (
 
 // Errors returned by Network operations.
 var (
-	ErrBadArity   = errors.New("armada: value count must match the configured attributes")
-	ErrBadQuery   = errors.New("armada: invalid query")
-	ErrNoSuchPeer = errors.New("armada: no such peer")
-	ErrTooSmall   = errors.New("armada: network cannot shrink below 3 peers")
+	ErrBadArity     = errors.New("armada: value count must match the configured attributes")
+	ErrBadQuery     = errors.New("armada: invalid query")
+	ErrNoSuchPeer   = errors.New("armada: no such peer")
+	ErrNoSuchObject = errors.New("armada: no such object")
+	ErrTooSmall     = errors.New("armada: network cannot shrink below 3 peers")
 )
 
 // Network is a simulated FISSIONE overlay with Armada query processing.
@@ -233,6 +234,46 @@ func (n *Network) publishLocked(name string, values []float64) error {
 		return fmt.Errorf("armada: publish %q: %w", name, err)
 	}
 	_, err = n.net.PublishAt(oid, fissione.Object{Name: name, Values: append([]float64(nil), values...)})
+	return err
+}
+
+// Unpublish removes one object previously stored by Publish under the same
+// name and attribute values, making sustained write/delete workloads
+// possible without unbounded growth. It returns ErrNoSuchObject when no
+// such object is stored. Duplicate publications are removed one at a time.
+func (n *Network) Unpublish(name string, values ...float64) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(values) != n.tree.Attrs() {
+		return fmt.Errorf("%w: got %d values, want %d", ErrBadArity, len(values), n.tree.Attrs())
+	}
+	oid, err := n.tree.Hash(values...)
+	if err != nil {
+		return fmt.Errorf("armada: unpublish %q: %w", name, err)
+	}
+	return n.wrapUnpublishErr(n.unpublishAt(oid, fissione.Object{Name: name, Values: values}), name)
+}
+
+// UnpublishExact removes one value-less object previously stored by
+// PublishExact under name. It returns ErrNoSuchObject when absent.
+func (n *Network) UnpublishExact(name string) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	oid := kautz.Hash(name, n.net.K())
+	return n.wrapUnpublishErr(n.unpublishAt(oid, fissione.Object{Name: name}), name)
+}
+
+// unpublishAt removes one matching object; the caller holds the write lock.
+func (n *Network) unpublishAt(oid kautz.Str, obj fissione.Object) error {
+	_, err := n.net.UnpublishAt(oid, obj)
+	return err
+}
+
+// wrapUnpublishErr maps fissione removal errors onto the package's errors.
+func (n *Network) wrapUnpublishErr(err error, name string) error {
+	if errors.Is(err, fissione.ErrNoSuchObject) {
+		return fmt.Errorf("%w: %q", ErrNoSuchObject, name)
+	}
 	return err
 }
 

@@ -1,0 +1,187 @@
+package armada
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestConcurrentChurnWithQueries interleaves Join, Leave and Fail with Do
+// and Stream on one live network (run under -race in CI). Throughout the
+// storm no query may error; afterwards every structural invariant must
+// hold and queries must be exact again.
+func TestConcurrentChurnWithQueries(t *testing.T) {
+	net, err := NewNetwork(150, WithSeed(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Initial data set; crash-stops may lose some of it, so exactness is
+	// only asserted on a fresh set after the churn stops.
+	for i := 0; i < 300; i++ {
+		if err := net.Publish(fmt.Sprintf("pre-%03d", i), float64(i*2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var (
+		churners   sync.WaitGroup
+		queriers   sync.WaitGroup
+		ready      sync.WaitGroup // start barrier: one op per querier first
+		churnDone  atomic.Bool
+		queryCount atomic.Int64
+		streamObjs atomic.Int64
+	)
+	ready.Add(4) // 3 Do-queriers + 1 streamer
+
+	// Two churners: joins balance leaves and crashes so the network size
+	// drifts, not collapses. They hold at the barrier until every query
+	// goroutine has completed one operation, so churn genuinely overlaps
+	// queries even under GOMAXPROCS=1 scheduling.
+	for c := 0; c < 2; c++ {
+		churners.Add(1)
+		go func(seed int64) {
+			defer churners.Done()
+			ready.Wait()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 60; i++ {
+				switch x := rng.Intn(4); {
+				case x < 2 || net.Size() < 40:
+					if _, err := net.Join(); err != nil {
+						t.Errorf("join: %v", err)
+						return
+					}
+				case x == 2:
+					// The two churners may race on one victim; a peer
+					// already gone is a benign outcome of real churn.
+					if err := net.Leave(net.RandomPeer()); err != nil &&
+						!errors.Is(err, ErrNoSuchPeer) && !errors.Is(err, ErrTooSmall) {
+						t.Errorf("leave: %v", err)
+						return
+					}
+				default:
+					if err := net.Fail(net.RandomPeer()); err != nil &&
+						!errors.Is(err, ErrNoSuchPeer) && !errors.Is(err, ErrTooSmall) {
+						t.Errorf("fail: %v", err)
+						return
+					}
+				}
+			}
+		}(int64(100 + c))
+	}
+
+	// Three Do-query goroutines running until the churners finish.
+	for q := 0; q < 3; q++ {
+		queriers.Add(1)
+		go func(seed int64) {
+			defer queriers.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for first := true; first || !churnDone.Load(); first = false {
+				lo := rng.Float64() * 900
+				q := NewRange([]Range{{Low: lo, High: lo + 80}})
+				if rng.Intn(4) == 0 {
+					q = NewLookup(fmt.Sprintf("pre-%03d", rng.Intn(300)))
+				}
+				if _, err := net.Do(context.Background(), q); err != nil {
+					t.Errorf("query during churn: %v", err)
+					if first {
+						ready.Done()
+					}
+					return
+				}
+				queryCount.Add(1)
+				if first {
+					ready.Done()
+				}
+			}
+		}(int64(200 + q))
+	}
+
+	// One Stream goroutine, sometimes breaking early to exercise
+	// cancellation against concurrent mutation.
+	queriers.Add(1)
+	go func() {
+		defer queriers.Done()
+		rng := rand.New(rand.NewSource(300))
+		for first := true; first || !churnDone.Load(); first = false {
+			// lo stays under 450 so the window always covers some of the
+			// initial values (0..598) — the first, pre-churn iteration is
+			// then guaranteed to stream at least one object.
+			lo := rng.Float64() * 450
+			limit := 1 + rng.Intn(40)
+			n := 0
+			for o, err := range net.Stream(context.Background(), NewRange([]Range{{Low: lo, High: lo + 150}})) {
+				if err != nil {
+					t.Errorf("stream during churn: %v", err)
+					if first {
+						ready.Done()
+					}
+					return
+				}
+				_ = o
+				streamObjs.Add(1)
+				if n++; n >= limit {
+					break
+				}
+			}
+			if first {
+				ready.Done()
+			}
+		}
+	}()
+
+	churners.Wait()
+	churnDone.Store(true)
+	queriers.Wait()
+
+	if qc := queryCount.Load(); qc == 0 {
+		t.Error("no queries completed during churn")
+	}
+	if streamObjs.Load() == 0 {
+		t.Error("no objects streamed during churn")
+	}
+
+	// Stabilized: every invariant must hold.
+	if err := net.Audit(); err != nil {
+		t.Fatalf("audit after churn: %v", err)
+	}
+
+	// And queries must be exact again: a fresh set in a value band the
+	// initial data never used ([601, 1000] holds no pre- objects with odd
+	// values... use a sub-band above 600 with fractional values).
+	for i := 0; i < 50; i++ {
+		if err := net.Publish(fmt.Sprintf("post-%02d", i), 700.0+float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := net.Do(context.Background(), NewRange([]Range{{Low: 699.5, High: 749.5}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := 0
+	for _, o := range res.Objects {
+		if len(o.Name) >= 5 && o.Name[:5] == "post-" {
+			fresh++
+		}
+	}
+	if fresh != 50 || len(res.Objects) != 50 {
+		t.Fatalf("after stabilization query returned %d objects, %d fresh; want exactly the 50 fresh ones",
+			len(res.Objects), fresh)
+	}
+	// Streamed delivery must agree with Do.
+	streamed := 0
+	for o, err := range net.Stream(context.Background(), NewRange([]Range{{Low: 699.5, High: 749.5}})) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(o.Name) >= 5 && o.Name[:5] == "post-" {
+			streamed++
+		}
+	}
+	if streamed != fresh {
+		t.Fatalf("stream found %d fresh objects, Do found %d", streamed, fresh)
+	}
+}

@@ -1,0 +1,316 @@
+// Command armada-load drives a live Armada network with concurrent mixed
+// traffic — optionally under churn — and emits a JSON report with per-op
+// throughput, latency percentiles and the paper's hop-delay/message
+// metrics (the BENCH_*.json format).
+//
+// Usage:
+//
+//	armada-load -scenario mixed                       # a named preset
+//	armada-load -scenario mixed -ops 2000 -peers 500  # preset, resized
+//	armada-load -list                                 # show the presets
+//	armada-load -scenario steady -duration 5s -v -out report.json
+//
+// Without -scenario the run is a custom scenario built entirely from the
+// flags (workload defaults otherwise):
+//
+//	armada-load -mix "range=70,publish=15,unpublish=15" -keys zipf \
+//	    -churn "join=40,leave=30,fail=10" -peers 300 -ops 4000
+//
+// Flags given explicitly override the chosen preset's fields.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"armada"
+	"armada/workload"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "armada-load:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("armada-load", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		scenario = fs.String("scenario", "", "preset scenario name (see -list); empty builds a custom scenario from the flags")
+		list     = fs.Bool("list", false, "list preset scenarios and exit")
+		peers    = fs.Int("peers", 0, "initial network size")
+		ops      = fs.Int("ops", 0, "stop after this many operations")
+		duration = fs.Duration("duration", 0, "stop after this wall-clock time")
+		workers  = fs.Int("workers", 0, "concurrent workers (closed loop) / executors (open loop)")
+		rate     = fs.Float64("rate", 0, "open-loop Poisson arrival rate, ops/sec (0 = closed loop)")
+		think    = fs.Duration("think", 0, "closed-loop think time between a worker's ops")
+		seed     = fs.Int64("seed", 0, "random seed")
+		attrs    = fs.Int("attrs", 0, "number of [0,1000] attributes (overrides the preset's spaces)")
+		preload  = fs.Int("preload", -1, "objects published before the measured run")
+		topk     = fs.Int("topk", 0, "K for top-k operations")
+		mix      = fs.String("mix", "", `op mix weights, e.g. "range=70,publish=10,lookup=10,unpublish=5,multi-range=0,top-k=5,flood=0"`)
+		keys     = fs.String("keys", "", "key distribution: uniform|zipf|hotspot")
+		zipfS    = fs.Float64("zipf-s", 0, "Zipf exponent (> 1)")
+		hotFrac  = fs.Float64("hot-frac", 0, "hotspot: hot interval width as a fraction of the space")
+		hotWt    = fs.Float64("hot-weight", 0, "hotspot: probability of drawing from the hot interval")
+		rangeFr  = fs.String("range-frac", "", `range width as fraction of the space, "min:max" (e.g. "0.01:0.1")`)
+		churn    = fs.String("churn", "", `churn rates/sec, e.g. "join=40,leave=30,fail=10"`)
+		minPeers = fs.Int("min-peers", 0, "churn floor: skip leaves/fails at or below this size")
+		maxPeers = fs.Int("max-peers", 0, "churn ceiling: skip joins at or above this size")
+		interval = fs.Duration("interval", 0, "snapshot period")
+		out      = fs.String("out", "", "write the JSON report to this file (default stdout)")
+		verbose  = fs.Bool("v", false, "print interval snapshots to stderr while running")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		printPresets(stdout)
+		return nil
+	}
+
+	// With no -scenario the base is a neutral custom scenario (workload
+	// defaults, 3000 ops) shaped entirely by the flags; a named preset is
+	// the base otherwise, with explicit flags overriding its fields.
+	sc := workload.Scenario{Name: "custom", Ops: 3000}
+	if *scenario != "" {
+		var ok bool
+		if sc, ok = workload.Preset(*scenario); !ok {
+			return fmt.Errorf("unknown scenario %q (try -list)", *scenario)
+		}
+	}
+
+	var parseErr error
+	keep := func(err error) {
+		parseErr = errors.Join(parseErr, err)
+	}
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "peers":
+			sc.Peers = *peers
+		case "ops":
+			sc.Ops = *ops
+		case "duration":
+			// The run stops at whichever of -ops / -duration is reached
+			// first; pass -ops 0 for a purely time-bounded run.
+			sc.Duration = *duration
+		case "workers":
+			sc.Arrival.Workers = *workers
+		case "rate":
+			sc.Arrival.RatePerSec = *rate
+		case "think":
+			sc.Arrival.Think = *think
+		case "seed":
+			sc.Seed = *seed
+		case "attrs":
+			sc.Attrs = make([]armada.AttributeSpace, *attrs)
+			for i := range sc.Attrs {
+				sc.Attrs[i] = armada.AttributeSpace{Low: 0, High: 1000}
+			}
+		case "preload":
+			sc.Preload = *preload
+		case "topk":
+			sc.TopK = *topk
+		case "mix":
+			m, err := parseMix(*mix)
+			keep(err)
+			sc.Mix = m
+		case "keys":
+			switch *keys {
+			case "uniform":
+				sc.Keys = workload.KeyDist{Kind: workload.KeyUniform}
+			case "zipf":
+				sc.Keys = workload.KeyDist{Kind: workload.KeyZipf, ZipfS: sc.Keys.ZipfS}
+			case "hotspot":
+				sc.Keys = workload.KeyDist{Kind: workload.KeyHotspot,
+					HotFraction: sc.Keys.HotFraction, HotWeight: sc.Keys.HotWeight}
+			default:
+				keep(fmt.Errorf("unknown key distribution %q", *keys))
+			}
+		case "zipf-s":
+			sc.Keys.ZipfS = *zipfS
+		case "hot-frac":
+			sc.Keys.HotFraction = *hotFrac
+		case "hot-weight":
+			sc.Keys.HotWeight = *hotWt
+		case "range-frac":
+			rs, err := parseRangeFrac(*rangeFr)
+			keep(err)
+			sc.RangeSize = rs
+		case "churn":
+			c, err := parseChurn(*churn, sc.Churn)
+			keep(err)
+			sc.Churn = c
+		case "min-peers":
+			sc.Churn.MinPeers = *minPeers
+		case "max-peers":
+			sc.Churn.MaxPeers = *maxPeers
+		case "interval":
+			sc.Interval = *interval
+		}
+	})
+	if parseErr != nil {
+		return parseErr
+	}
+
+	sc, err := sc.Normalize()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "armada-load: scenario %q — building %d peers, preloading %d objects\n",
+		sc.Name, sc.Peers, sc.Preload)
+	net, err := armada.NewNetwork(sc.Peers,
+		armada.WithSeed(sc.Seed), armada.WithAttributes(sc.Attrs...))
+	if err != nil {
+		return err
+	}
+	runner, err := workload.New(net, sc)
+	if err != nil {
+		return err
+	}
+	if *verbose {
+		runner.OnSnapshot = func(s workload.Snapshot) {
+			fmt.Fprintf(stderr, "  t=%6.2fs  ops=%-6d errs=%-3d peers=%-5d %8.0f op/s\n",
+				s.AtSec, s.Ops, s.Errors, s.Peers, s.Throughput)
+		}
+	}
+
+	rep, err := runner.Run(ctx)
+	if err != nil {
+		return err
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "armada-load: %d ops in %.2fs (%.0f op/s), %d errors, peers %d → %d\n",
+		rep.TotalOps, rep.DurationSec, rep.Throughput, rep.TotalErrors, rep.StartPeers, rep.EndPeers)
+	return nil
+}
+
+// parseMix parses "range=70,publish=10,..." into a Mix.
+func parseMix(s string) (workload.Mix, error) {
+	var m workload.Mix
+	fields := map[string]*float64{
+		"publish": &m.Publish, "unpublish": &m.Unpublish, "lookup": &m.Lookup,
+		"range": &m.Range, "multi-range": &m.MultiRange, "top-k": &m.TopK, "flood": &m.Flood,
+	}
+	if err := parseWeights(s, fields); err != nil {
+		return workload.Mix{}, fmt.Errorf("-mix: %w", err)
+	}
+	return m, nil
+}
+
+// parseChurn parses "join=40,leave=30,fail=10" into a Churn, keeping the
+// base's peer guards.
+func parseChurn(s string, base workload.Churn) (workload.Churn, error) {
+	c := workload.Churn{MinPeers: base.MinPeers, MaxPeers: base.MaxPeers}
+	fields := map[string]*float64{
+		"join": &c.JoinPerSec, "leave": &c.LeavePerSec, "fail": &c.FailPerSec,
+	}
+	if err := parseWeights(s, fields); err != nil {
+		return workload.Churn{}, fmt.Errorf("-churn: %w", err)
+	}
+	return c, nil
+}
+
+func parseWeights(s string, fields map[string]*float64) error {
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return fmt.Errorf("%q is not key=value", part)
+		}
+		dst, ok := fields[strings.TrimSpace(key)]
+		if !ok {
+			return fmt.Errorf("unknown key %q", key)
+		}
+		w, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			return fmt.Errorf("%q: %w", part, err)
+		}
+		*dst = w
+	}
+	return nil
+}
+
+// parseRangeFrac parses "min:max" into a SizeDist.
+func parseRangeFrac(s string) (workload.SizeDist, error) {
+	lo, hi, ok := strings.Cut(s, ":")
+	if !ok {
+		return workload.SizeDist{}, fmt.Errorf("-range-frac: %q is not min:max", s)
+	}
+	min, err := strconv.ParseFloat(strings.TrimSpace(lo), 64)
+	if err != nil {
+		return workload.SizeDist{}, fmt.Errorf("-range-frac: %w", err)
+	}
+	max, err := strconv.ParseFloat(strings.TrimSpace(hi), 64)
+	if err != nil {
+		return workload.SizeDist{}, fmt.Errorf("-range-frac: %w", err)
+	}
+	return workload.SizeDist{MinFrac: min, MaxFrac: max}, nil
+}
+
+// printPresets renders the preset table.
+func printPresets(w io.Writer) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "NAME\tPEERS\tOPS\tATTRS\tKEYS\tCHURN/s (join/leave/fail)\tMIX")
+	for _, p := range workload.Presets() {
+		attrs := len(p.Attrs)
+		if attrs == 0 {
+			attrs = 1
+		}
+		churn := "-"
+		if p.Churn.Enabled() {
+			churn = fmt.Sprintf("%g/%g/%g", p.Churn.JoinPerSec, p.Churn.LeavePerSec, p.Churn.FailPerSec)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%v\t%s\t%s\n",
+			p.Name, p.Peers, p.Ops, attrs, p.Keys.Kind, churn, mixString(p.Mix))
+	}
+	tw.Flush()
+}
+
+func mixString(m workload.Mix) string {
+	parts := []string{}
+	add := func(name string, w float64) {
+		if w > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%g", name, w))
+		}
+	}
+	add("publish", m.Publish)
+	add("unpublish", m.Unpublish)
+	add("lookup", m.Lookup)
+	add("range", m.Range)
+	add("multi-range", m.MultiRange)
+	add("top-k", m.TopK)
+	add("flood", m.Flood)
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// runJSON executes the CLI and decodes its JSON report.
+func runJSON(t *testing.T, args ...string) map[string]any {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	if err := run(context.Background(), args, &stdout, &stderr); err != nil {
+		t.Fatalf("run(%v): %v\nstderr: %s", args, err, stderr.String())
+	}
+	var m map[string]any
+	if err := json.Unmarshal(stdout.Bytes(), &m); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, stdout.String())
+	}
+	return m
+}
+
+func TestList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run(context.Background(), []string{"-list"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"steady", "zipf-hot", "churn-heavy", "flood-storm", "mixed"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing preset %q:\n%s", name, stdout.String())
+		}
+	}
+}
+
+func TestPresetSmall(t *testing.T) {
+	m := runJSON(t, "-scenario", "steady", "-peers", "60", "-ops", "200", "-preload", "150", "-seed", "3")
+	if got := m["total_ops"].(float64); got != 200 {
+		t.Errorf("total_ops = %v, want 200", got)
+	}
+	ops := m["ops"].(map[string]any)
+	rng, ok := ops["range"].(map[string]any)
+	if !ok {
+		t.Fatalf("ops.range missing: %v", ops)
+	}
+	lat := rng["latency_ms"].(map[string]any)
+	for _, k := range []string{"p50", "p95", "p99", "max"} {
+		if _, ok := lat[k]; !ok {
+			t.Errorf("latency_ms missing %q", k)
+		}
+	}
+	if _, ok := rng["hop_delay"]; !ok {
+		t.Error("ops.range missing hop_delay")
+	}
+}
+
+func TestChurnHeavySmall(t *testing.T) {
+	m := runJSON(t, "-scenario", "churn-heavy", "-peers", "100", "-ops", "300",
+		"-preload", "200", "-churn", "join=800,leave=600,fail=300", "-min-peers", "48",
+		"-think", "300us")
+	if got := m["total_errors"].(float64); got != 0 {
+		t.Errorf("total_errors = %v, want 0", got)
+	}
+	churn := m["churn"].(map[string]any)
+	events := churn["joins"].(float64) + churn["leaves"].(float64) + churn["fails"].(float64)
+	if events == 0 {
+		t.Errorf("no churn events executed: %v", churn)
+	}
+	if len(m["intervals"].([]any)) == 0 {
+		t.Error("no interval snapshots")
+	}
+}
+
+func TestCustomMixFlags(t *testing.T) {
+	m := runJSON(t, "-scenario", "steady", "-peers", "60", "-ops", "150", "-preload", "80",
+		"-mix", "range=50,flood=20,lookup=10,publish=10,unpublish=10",
+		"-keys", "hotspot", "-hot-frac", "0.2", "-hot-weight", "0.8",
+		"-range-frac", "0.005:0.05", "-attrs", "2", "-workers", "3")
+	if got := m["attributes"].(float64); got != 2 {
+		t.Errorf("attributes = %v, want 2", got)
+	}
+	ops := m["ops"].(map[string]any)
+	if _, ok := ops["flood"]; !ok {
+		t.Errorf("flood ops missing from custom mix: %v", ops)
+	}
+}
+
+func TestOpenLoopFlag(t *testing.T) {
+	m := runJSON(t, "-scenario", "steady", "-peers", "60", "-ops", "100", "-preload", "50",
+		"-rate", "20000")
+	if got := m["total_ops"].(float64); got != 100 {
+		t.Errorf("total_ops = %v, want 100", got)
+	}
+}
+
+func TestFlagBuiltCustomScenario(t *testing.T) {
+	m := runJSON(t, "-peers", "60", "-ops", "120", "-preload", "60",
+		"-mix", "range=70,publish=15,unpublish=15")
+	if got := m["scenario"].(string); got != "custom" {
+		t.Errorf("scenario = %q, want custom (no preset base)", got)
+	}
+	if got := m["attributes"].(float64); got != 1 {
+		t.Errorf("attributes = %v, want the workload default 1", got)
+	}
+	if got := m["total_ops"].(float64); got != 120 {
+		t.Errorf("total_ops = %v, want 120", got)
+	}
+}
+
+func TestParseErrorNotMasked(t *testing.T) {
+	// A later flag parsing cleanly must not swallow an earlier flag's
+	// parse error (Visit iterates flags in lexical order).
+	var stdout, stderr bytes.Buffer
+	args := []string{"-mix", "bogus", "-range-frac", "0.01:0.1", "-peers", "20", "-ops", "50"}
+	if err := run(context.Background(), args, &stdout, &stderr); err == nil {
+		t.Errorf("run(%v) succeeded; the -mix parse error was masked", args)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-scenario", "no-such"},
+		{"-mix", "bogus=1"},
+		{"-mix", "range"},
+		{"-keys", "gaussian"},
+		{"-range-frac", "0.5"},
+		{"-churn", "melt=1"},
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if err := run(context.Background(), args, &stdout, &stderr); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

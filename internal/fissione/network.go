@@ -11,10 +11,11 @@ import (
 
 // Errors returned by Network operations.
 var (
-	ErrTooSmall    = errors.New("fissione: network cannot shrink below its three seed regions")
-	ErrNoSuchPeer  = errors.New("fissione: no such peer")
-	ErrBadObjectID = errors.New("fissione: ObjectID must be a Kautz string of the network's length k")
-	ErrCorrupt     = errors.New("fissione: namespace cover is corrupt")
+	ErrTooSmall     = errors.New("fissione: network cannot shrink below its three seed regions")
+	ErrNoSuchPeer   = errors.New("fissione: no such peer")
+	ErrBadObjectID  = errors.New("fissione: ObjectID must be a Kautz string of the network's length k")
+	ErrCorrupt      = errors.New("fissione: namespace cover is corrupt")
+	ErrNoSuchObject = errors.New("fissione: no such object")
 )
 
 // Network is a FISSIONE overlay of peers partitioning KautzSpace(2,k) by
@@ -373,6 +374,20 @@ func (n *Network) PublishAt(objectID kautz.Str, obj Object) (kautz.Str, error) {
 		return "", err
 	}
 	n.peers[owner].addObject(objectID, obj)
+	return owner, nil
+}
+
+// UnpublishAt removes one stored occurrence of obj under objectID from its
+// owning peer and returns the owner. It returns ErrNoSuchObject when no
+// matching object is stored there.
+func (n *Network) UnpublishAt(objectID kautz.Str, obj Object) (kautz.Str, error) {
+	owner, err := n.OwnerOf(objectID)
+	if err != nil {
+		return "", err
+	}
+	if !n.peers[owner].removeObject(objectID, obj) {
+		return "", fmt.Errorf("%w: %q at %q", ErrNoSuchObject, obj.Name, objectID)
+	}
 	return owner, nil
 }
 

@@ -24,6 +24,7 @@ package fissione
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"armada/internal/kautz"
@@ -74,6 +75,26 @@ func (p *Peer) Degree() int { return len(p.out) }
 // addObject stores obj under objectID on this peer.
 func (p *Peer) addObject(objectID kautz.Str, obj Object) {
 	p.store[objectID] = append(p.store[objectID], obj)
+}
+
+// removeObject deletes one stored occurrence of the object under objectID
+// whose name and values match, reporting whether one was found. Values
+// match element-wise (duplicate publications remove one at a time).
+func (p *Peer) removeObject(objectID kautz.Str, obj Object) bool {
+	objs := p.store[objectID]
+	for i, o := range objs {
+		if o.Name != obj.Name || !slices.Equal(o.Values, obj.Values) {
+			continue
+		}
+		objs = append(objs[:i], objs[i+1:]...)
+		if len(objs) == 0 {
+			delete(p.store, objectID)
+		} else {
+			p.store[objectID] = objs
+		}
+		return true
+	}
+	return false
 }
 
 // ObjectCount returns the number of objects stored on the peer.

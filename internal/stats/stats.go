@@ -1,22 +1,40 @@
 // Package stats provides the small numeric summaries used by the
-// experiment harness.
+// experiment harness and the workload engine.
 package stats
 
 import (
 	"math"
 	"sort"
+	"sync"
 )
 
-// Sample accumulates observations of one metric.
+// Sample accumulates observations of one metric. It is not safe for
+// concurrent use; wrap it in SafeSample when several goroutines record.
 type Sample struct {
 	values []float64
+	// sorted caches the ascending order of values for Percentile; Add
+	// invalidates it, so repeated quantile reads over a large sample sort
+	// once instead of once per call.
+	sorted []float64
 }
 
 // Add records one observation.
-func (s *Sample) Add(v float64) { s.values = append(s.values, v) }
+func (s *Sample) Add(v float64) {
+	s.values = append(s.values, v)
+	s.sorted = nil
+}
 
 // AddInt records one integer observation.
 func (s *Sample) AddInt(v int) { s.Add(float64(v)) }
+
+// Merge records every observation of other.
+func (s *Sample) Merge(other *Sample) {
+	if other == nil || len(other.values) == 0 {
+		return
+	}
+	s.values = append(s.values, other.values...)
+	s.sorted = nil
+}
 
 // N returns the number of observations.
 func (s *Sample) N() int { return len(s.values) }
@@ -61,13 +79,21 @@ func (s *Sample) Min() float64 {
 	return min
 }
 
+// ensureSorted (re)builds the sorted cache when stale.
+func (s *Sample) ensureSorted() []float64 {
+	if s.sorted == nil && len(s.values) > 0 {
+		s.sorted = append([]float64(nil), s.values...)
+		sort.Float64s(s.sorted)
+	}
+	return s.sorted
+}
+
 // Percentile returns the p-th percentile (0 ≤ p ≤ 100) by nearest-rank.
 func (s *Sample) Percentile(p float64) float64 {
 	if len(s.values) == 0 {
 		return 0
 	}
-	sorted := append([]float64(nil), s.values...)
-	sort.Float64s(sorted)
+	sorted := s.ensureSorted()
 	if p <= 0 {
 		return sorted[0]
 	}
@@ -93,4 +119,37 @@ func (s *Sample) StdDev() float64 {
 		total += d * d
 	}
 	return math.Sqrt(total / float64(len(s.values)))
+}
+
+// SafeSample is a Sample safe for concurrent recording — the collection
+// type behind workload metric gathering, where many workers observe one
+// metric at once.
+type SafeSample struct {
+	mu sync.Mutex
+	s  Sample
+}
+
+// Add records one observation.
+func (c *SafeSample) Add(v float64) {
+	c.mu.Lock()
+	c.s.Add(v)
+	c.mu.Unlock()
+}
+
+// AddInt records one integer observation.
+func (c *SafeSample) AddInt(v int) { c.Add(float64(v)) }
+
+// N returns the number of observations recorded so far.
+func (c *SafeSample) N() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s.N()
+}
+
+// Snapshot returns an independent copy of the accumulated sample for
+// lock-free summarizing.
+func (c *SafeSample) Snapshot() *Sample {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return &Sample{values: append([]float64(nil), c.s.values...)}
 }

@@ -60,6 +60,57 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+func TestPercentileCacheInvalidatedByAdd(t *testing.T) {
+	s := sampleOf(5, 1, 3)
+	if got := s.Percentile(100); got != 5 {
+		t.Errorf("P100 = %v, want 5", got)
+	}
+	s.Add(9) // must invalidate the sorted cache
+	if got := s.Percentile(100); got != 9 {
+		t.Errorf("P100 after Add = %v, want 9", got)
+	}
+	if got := s.Percentile(0); got != 1 {
+		t.Errorf("P0 after Add = %v, want 1", got)
+	}
+	s.Merge(sampleOf(0.5))
+	if got := s.Percentile(0); got != 0.5 {
+		t.Errorf("P0 after Merge = %v, want 0.5", got)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	s := sampleOf(1, 2)
+	s.Merge(sampleOf(3, 4))
+	s.Merge(nil)
+	s.Merge(&Sample{})
+	if s.N() != 4 || s.Mean() != 2.5 {
+		t.Errorf("after merge: n=%d mean=%v", s.N(), s.Mean())
+	}
+}
+
+func TestSafeSampleConcurrent(t *testing.T) {
+	var c SafeSample
+	done := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		go func(base int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 100; i++ {
+				c.AddInt(base + i)
+			}
+		}(w * 100)
+	}
+	for w := 0; w < 8; w++ {
+		<-done
+	}
+	snap := c.Snapshot()
+	if snap.N() != 800 || c.N() != 800 {
+		t.Fatalf("n = %d / %d, want 800", snap.N(), c.N())
+	}
+	if snap.Min() != 0 || snap.Max() != 799 {
+		t.Errorf("min/max = %v/%v", snap.Min(), snap.Max())
+	}
+}
+
 func TestStdDev(t *testing.T) {
 	s := sampleOf(2, 4, 4, 4, 5, 5, 7, 9)
 	if got := s.StdDev(); math.Abs(got-2) > 1e-12 {

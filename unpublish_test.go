@@ -1,0 +1,130 @@
+package armada
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestUnpublishRemovesObject(t *testing.T) {
+	net, err := NewNetwork(60, WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := net.Publish(objName(i), float64(i*20)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := net.Do(context.Background(), NewRange([]Range{{Low: 0, High: 1000}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Objects) != 50 {
+		t.Fatalf("published %d objects, query found %d", 50, len(res.Objects))
+	}
+
+	if err := net.Unpublish(objName(10), 200); err != nil {
+		t.Fatalf("unpublish: %v", err)
+	}
+	res, err = net.Do(context.Background(), NewRange([]Range{{Low: 0, High: 1000}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Objects) != 49 {
+		t.Fatalf("after unpublish query found %d, want 49", len(res.Objects))
+	}
+	for _, o := range res.Objects {
+		if o.Name == objName(10) {
+			t.Fatalf("unpublished object %q still returned", o.Name)
+		}
+	}
+}
+
+func TestUnpublishErrors(t *testing.T) {
+	net, err := NewNetwork(30, WithSeed(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Publish("x", 100); err != nil {
+		t.Fatal(err)
+	}
+	// Absent name at an owned position.
+	if err := net.Unpublish("y", 100); !errors.Is(err, ErrNoSuchObject) {
+		t.Fatalf("unpublish absent name: %v, want ErrNoSuchObject", err)
+	}
+	// Same name, different values (distinct object identity).
+	if err := net.Unpublish("x", 900); !errors.Is(err, ErrNoSuchObject) {
+		t.Fatalf("unpublish wrong values: %v, want ErrNoSuchObject", err)
+	}
+	// Arity mismatch.
+	if err := net.Unpublish("x", 1, 2); !errors.Is(err, ErrBadArity) {
+		t.Fatalf("unpublish bad arity: %v, want ErrBadArity", err)
+	}
+	// Double unpublish.
+	if err := net.Unpublish("x", 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Unpublish("x", 100); !errors.Is(err, ErrNoSuchObject) {
+		t.Fatalf("double unpublish: %v, want ErrNoSuchObject", err)
+	}
+}
+
+func TestUnpublishDuplicatesOneAtATime(t *testing.T) {
+	net, err := NewNetwork(30, WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Publish("dup", 500); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Publish("dup", 500); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Unpublish("dup", 500); err != nil {
+		t.Fatal(err)
+	}
+	res, err := net.Do(context.Background(), NewRange([]Range{{Low: 0, High: 1000}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Objects) != 1 {
+		t.Fatalf("after removing one duplicate, query found %d, want 1", len(res.Objects))
+	}
+	if err := net.Unpublish("dup", 500); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Unpublish("dup", 500); !errors.Is(err, ErrNoSuchObject) {
+		t.Fatalf("third unpublish: %v, want ErrNoSuchObject", err)
+	}
+}
+
+func TestUnpublishExact(t *testing.T) {
+	net, err := NewNetwork(30, WithSeed(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.PublishExact("doc"); err != nil {
+		t.Fatal(err)
+	}
+	lr, err := net.Do(context.Background(), NewLookup("doc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lr.Objects) != 1 {
+		t.Fatalf("lookup found %d objects, want 1", len(lr.Objects))
+	}
+	if err := net.UnpublishExact("doc"); err != nil {
+		t.Fatal(err)
+	}
+	lr, err = net.Do(context.Background(), NewLookup("doc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lr.Objects) != 0 {
+		t.Fatalf("lookup after unpublish found %d objects, want 0", len(lr.Objects))
+	}
+	if err := net.UnpublishExact("doc"); !errors.Is(err, ErrNoSuchObject) {
+		t.Fatalf("unpublish absent exact: %v, want ErrNoSuchObject", err)
+	}
+}

@@ -1,0 +1,100 @@
+package workload
+
+import "armada"
+
+// presets are the named scenarios armada-load ships, in listing order.
+// Each is self-contained: it carries its own network size and op budget so
+// `armada-load -scenario <name>` completes without further flags.
+var presets = []Scenario{
+	{
+		// Uniform read-mostly traffic on a stable network — the baseline
+		// every other scenario is compared against.
+		Name:    "steady",
+		Peers:   500,
+		Preload: 2000,
+		Ops:     5000,
+		Mix:     Mix{Publish: 10, Unpublish: 8, Lookup: 12, Range: 60, TopK: 5, MultiRange: 0, Flood: 0},
+		Keys:    KeyDist{Kind: KeyUniform},
+	},
+	{
+		// Zipf-skewed keys and narrow ranges: most traffic hammers the few
+		// peers owning the hot end of the namespace (the D3-Tree/ART
+		// skewed-access scenario).
+		Name:      "zipf-hot",
+		Peers:     500,
+		Preload:   3000,
+		Ops:       5000,
+		Mix:       Mix{Publish: 10, Unpublish: 5, Lookup: 10, Range: 75},
+		Keys:      KeyDist{Kind: KeyZipf, ZipfS: 1.2},
+		RangeSize: SizeDist{MinFrac: 0.002, MaxFrac: 0.02},
+	},
+	{
+		// Sustained mixed traffic while the overlay churns hard, including
+		// crash-stops that lose unreplicated objects — the regime the
+		// paper's stable-network delay bounds say nothing about.
+		Name:    "churn-heavy",
+		Peers:   400,
+		Preload: 1500,
+		Ops:     4000,
+		Mix:     Mix{Publish: 15, Unpublish: 10, Lookup: 15, Range: 55, TopK: 5},
+		Keys:    KeyDist{Kind: KeyUniform},
+		// Rates are high because an in-process run of this op budget lasts
+		// well under a second; they work out to roughly one churn event
+		// per ~7 completed operations.
+		Churn: Churn{JoinPerSec: 300, LeavePerSec: 220, FailPerSec: 80, MinPeers: 64},
+	},
+	{
+		// Half the queries run the unpruned FRT flood ablation, measuring
+		// what Armada's pruning buys under concurrent load. Open-loop
+		// Poisson arrivals so the storm keeps its nominal rate.
+		Name:    "flood-storm",
+		Peers:   200,
+		Preload: 1000,
+		Ops:     1500,
+		Mix:     Mix{Publish: 10, Lookup: 10, Range: 40, Flood: 40},
+		Keys:    KeyDist{Kind: KeyHotspot, HotFraction: 0.2, HotWeight: 0.8},
+		Arrival: Arrival{Workers: 8, RatePerSec: 1500},
+	},
+	{
+		// Everything at once: two attributes, every op kind, skewed keys
+		// and moderate churn — the CI smoke scenario.
+		Name:    "mixed",
+		Peers:   500,
+		Preload: 2000,
+		Ops:     3000,
+		Attrs: []armada.AttributeSpace{
+			{Low: 0, High: 1000},
+			{Low: 0, High: 100},
+		},
+		Mix:   Mix{Publish: 12, Unpublish: 8, Lookup: 10, Range: 35, MultiRange: 20, TopK: 10, Flood: 5},
+		Keys:  KeyDist{Kind: KeyZipf, ZipfS: 1.3},
+		Churn: Churn{JoinPerSec: 80, LeavePerSec: 60, FailPerSec: 20, MinPeers: 64},
+	},
+}
+
+// Presets returns the named scenarios in listing order (copies; callers
+// may adjust them freely).
+func Presets() []Scenario {
+	out := make([]Scenario, len(presets))
+	for i, p := range presets {
+		out[i] = copyScenario(p)
+	}
+	return out
+}
+
+// Preset returns the named scenario, reporting whether the name is known.
+func Preset(name string) (Scenario, bool) {
+	for _, p := range presets {
+		if p.Name == name {
+			return copyScenario(p), true
+		}
+	}
+	return Scenario{}, false
+}
+
+// copyScenario detaches the scenario's slice fields so callers mutating a
+// returned preset cannot corrupt the package-level table.
+func copyScenario(p Scenario) Scenario {
+	p.Attrs = append([]armada.AttributeSpace(nil), p.Attrs...)
+	return p
+}

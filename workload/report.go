@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"armada/internal/stats"
+)
+
+// Quantiles summarizes one metric's distribution.
+type Quantiles struct {
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+}
+
+func quantilesOf(s *stats.Sample) Quantiles {
+	return Quantiles{
+		Mean: s.Mean(),
+		P50:  s.Percentile(50),
+		P95:  s.Percentile(95),
+		P99:  s.Percentile(99),
+		Max:  s.Max(),
+	}
+}
+
+// OpReport summarizes one operation kind over the whole run.
+type OpReport struct {
+	// Count is the number of completed operations; Errors how many of
+	// them failed. Misses counts unpublishes whose target was already
+	// gone (crash churn loses unreplicated objects) — expected under
+	// churn, so kept apart from Errors.
+	Count  int `json:"count"`
+	Errors int `json:"errors"`
+	Misses int `json:"misses,omitempty"`
+	// Throughput is Count over the run's wall-clock duration.
+	Throughput float64 `json:"throughput_per_sec"`
+	// LatencyMs is the wall-clock service latency in milliseconds.
+	LatencyMs Quantiles `json:"latency_ms"`
+	// HopDelay, Messages and DestPeers are the paper's per-query cost
+	// metrics (query kinds only; zero for publish/unpublish).
+	HopDelay  Quantiles `json:"hop_delay"`
+	Messages  Quantiles `json:"messages"`
+	DestPeers Quantiles `json:"dest_peers"`
+	// Matches is the result-set size distribution (query kinds only).
+	Matches Quantiles `json:"matches"`
+}
+
+// ChurnReport counts the churn events of one run.
+type ChurnReport struct {
+	Joins  int `json:"joins"`
+	Leaves int `json:"leaves"`
+	Fails  int `json:"fails"`
+	// Skipped counts events suppressed by the MinPeers/MaxPeers guards.
+	Skipped int `json:"skipped,omitempty"`
+	Errors  int `json:"errors,omitempty"`
+}
+
+// Snapshot is one periodic observation of the running workload. The final
+// snapshot (at the run's end) is always present.
+type Snapshot struct {
+	// AtSec is the snapshot time relative to the run start.
+	AtSec float64 `json:"at_sec"`
+	// Ops and Errors are the completions in this interval; Throughput is
+	// their rate over the interval.
+	Ops        int     `json:"ops"`
+	Errors     int     `json:"errors"`
+	Throughput float64 `json:"throughput_per_sec"`
+	// Peers is the network size at snapshot time.
+	Peers int `json:"peers"`
+}
+
+// Report is the outcome of one workload run. It marshals to the JSON
+// schema BENCH_*.json entries use.
+type Report struct {
+	Scenario   string `json:"scenario"`
+	Seed       int64  `json:"seed"`
+	Attributes int    `json:"attributes"`
+	StartPeers int    `json:"start_peers"`
+	EndPeers   int    `json:"end_peers"`
+	// DurationSec is the measured wall-clock run time (excluding network
+	// build and preload).
+	DurationSec float64 `json:"duration_sec"`
+	TotalOps    int     `json:"total_ops"`
+	TotalErrors int     `json:"total_errors"`
+	// Throughput is TotalOps / DurationSec across all kinds.
+	Throughput float64 `json:"throughput_per_sec"`
+	// Ops maps operation-kind name → summary; kinds with zero weight are
+	// absent.
+	Ops       map[string]OpReport `json:"ops"`
+	Churn     ChurnReport         `json:"churn"`
+	Intervals []Snapshot          `json:"intervals"`
+}

@@ -1,0 +1,512 @@
+package workload
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"armada"
+	"armada/internal/stats"
+)
+
+// Runner executes one Scenario against a live network.
+type Runner struct {
+	net *armada.Network
+	sc  Scenario
+
+	// OnSnapshot, when non-nil, observes every interval snapshot as it is
+	// taken (progress reporting). It is called from the snapshot
+	// goroutine.
+	OnSnapshot func(Snapshot)
+}
+
+// New builds a Runner for the scenario (defaults filled, then validated)
+// against the given network, which must be configured with as many
+// attributes as the scenario declares.
+func New(net *armada.Network, sc Scenario) (*Runner, error) {
+	sc = sc.withDefaults()
+	if err := sc.validate(); err != nil {
+		return nil, err
+	}
+	if len(sc.Attrs) != net.Attributes() {
+		return nil, fmt.Errorf("%w: scenario declares %d attributes, network has %d",
+			ErrBadScenario, len(sc.Attrs), net.Attributes())
+	}
+	return &Runner{net: net, sc: sc}, nil
+}
+
+// Execute builds the scenario's network (sc.Peers peers, sc.Attrs
+// spaces, sc.Seed), then runs the scenario on it — the one-call entry
+// point the armada-load command uses.
+func Execute(ctx context.Context, sc Scenario) (*Report, error) {
+	sc = sc.withDefaults()
+	if err := sc.validate(); err != nil {
+		return nil, err
+	}
+	net, err := armada.NewNetwork(sc.Peers,
+		armada.WithSeed(sc.Seed), armada.WithAttributes(sc.Attrs...))
+	if err != nil {
+		return nil, err
+	}
+	r, err := New(net, sc)
+	if err != nil {
+		return nil, err
+	}
+	return r.Run(ctx)
+}
+
+// Run preloads the scenario's objects, then drives the workload until the
+// stop condition (op count or duration) is reached, and returns the
+// Report. Cancelling ctx aborts the run with ctx's error; the scenario's
+// own Duration expiring is a normal completion.
+func (r *Runner) Run(ctx context.Context) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	sc := &r.sc
+	pool := &keyPool{}
+	if err := r.preload(pool); err != nil {
+		return nil, fmt.Errorf("workload: preload: %w", err)
+	}
+
+	// runCtx stops the traffic; bgCtx keeps churn and snapshots running
+	// until the workers have drained.
+	runCtx := ctx
+	if sc.Duration > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(ctx, sc.Duration)
+		defer cancel()
+	}
+	bgCtx, stopBG := context.WithCancel(ctx)
+	defer stopBG()
+
+	coll := &collector{}
+	startPeers := r.net.Size()
+	start := time.Now()
+
+	var bg sync.WaitGroup
+	if sc.Churn.Enabled() {
+		bg.Add(1)
+		go func() {
+			defer bg.Done()
+			r.churn(bgCtx, coll)
+		}()
+	}
+	bg.Add(1)
+	go func() {
+		defer bg.Done()
+		r.snapshots(bgCtx, start, coll)
+	}()
+
+	acquire := r.arrivals(runCtx)
+	var workers sync.WaitGroup
+	for w := 0; w < sc.Arrival.Workers; w++ {
+		workers.Add(1)
+		go func(id int) {
+			defer workers.Done()
+			smp := newSampler(sc, sc.Seed+int64(id)*7919+1)
+			for acquire() {
+				r.execOp(runCtx, smp, pool, coll)
+				if sc.Arrival.Think > 0 {
+					sleepCtx(runCtx, sc.Arrival.Think)
+				}
+			}
+		}(w)
+	}
+	workers.Wait()
+	elapsed := time.Since(start)
+	stopBG()
+	bg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("workload: run aborted: %w", err)
+	}
+	coll.takeSnapshot(elapsed, r.net.Size()) // final snapshot, always present
+	return r.report(elapsed, startPeers, coll), nil
+}
+
+// arrivals returns the acquire function workers call before each op.
+// Closed loop: succeed until the op budget or context runs out. Open loop:
+// block until the Poisson dispatcher admits an arrival.
+func (r *Runner) arrivals(ctx context.Context) func() bool {
+	sc := &r.sc
+	if sc.Arrival.RatePerSec <= 0 {
+		var issued atomic.Int64
+		return func() bool {
+			if ctx.Err() != nil {
+				return false
+			}
+			return sc.Ops <= 0 || issued.Add(1) <= int64(sc.Ops)
+		}
+	}
+	// Arrivals beyond Workers in-flight backlog in the channel, bounding
+	// how far an overloaded run departs from the nominal rate.
+	ch := make(chan struct{}, sc.Arrival.Workers)
+	go func() {
+		defer close(ch)
+		rng := rand.New(rand.NewSource(sc.Seed ^ 0x9e3779b9))
+		mean := float64(time.Second) / sc.Arrival.RatePerSec
+		timer := time.NewTimer(time.Hour)
+		defer timer.Stop()
+		for n := 0; sc.Ops <= 0 || n < sc.Ops; n++ {
+			timer.Reset(time.Duration(rng.ExpFloat64() * mean))
+			select {
+			case <-ctx.Done():
+				return
+			case <-timer.C:
+			}
+			select {
+			case ch <- struct{}{}:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return func() bool {
+		select {
+		case _, ok := <-ch:
+			return ok
+		case <-ctx.Done():
+			// Drain nothing further; pending arrivals are dropped.
+			return false
+		}
+	}
+}
+
+// preload publishes the scenario's initial objects in one batch and seeds
+// the unpublish pool with them.
+func (r *Runner) preload(pool *keyPool) error {
+	if r.sc.Preload == 0 {
+		return nil
+	}
+	smp := newSampler(&r.sc, r.sc.Seed*31+7)
+	pubs := make([]armada.Publication, r.sc.Preload)
+	for i := range pubs {
+		rec := pubRec{name: pool.nextName(), values: smp.values()}
+		pubs[i] = armada.Publication{Name: rec.name, Values: rec.values}
+		pool.add(rec)
+	}
+	return r.net.PublishBatch(pubs)
+}
+
+// execOp draws and executes one operation, recording its metrics.
+func (r *Runner) execOp(ctx context.Context, smp *sampler, pool *keyPool, coll *collector) {
+	switch kind := smp.nextOp(); kind {
+	case OpPublish:
+		r.doPublish(smp, pool, &coll.ops[OpPublish])
+	case OpUnpublish:
+		rec, ok := pool.take(smp.rng)
+		if !ok {
+			// Nothing left to delete: publish instead so the mix stays
+			// sustainable (recorded as a publish).
+			r.doPublish(smp, pool, &coll.ops[OpPublish])
+			return
+		}
+		oc := &coll.ops[OpUnpublish]
+		start := time.Now()
+		err := r.net.Unpublish(rec.name, rec.values...)
+		if errors.Is(err, armada.ErrNoSuchObject) {
+			// The object died with a crashed peer — a miss, not a fault.
+			oc.misses.Add(1)
+			err = nil
+		}
+		oc.record(start, err)
+	case OpLookup:
+		name, ok := pool.sampleName(smp.rng)
+		if !ok {
+			name = fmt.Sprintf("probe-%d", smp.rng.Int63())
+		}
+		r.doQuery(ctx, armada.NewLookup(name), &coll.ops[OpLookup])
+	case OpRange:
+		r.doQuery(ctx, armada.NewRange(smp.ranges(false)), &coll.ops[OpRange])
+	case OpMultiRange:
+		r.doQuery(ctx, armada.NewRange(smp.ranges(true)), &coll.ops[OpMultiRange])
+	case OpTopK:
+		r.doQuery(ctx, armada.NewRange(smp.ranges(false), armada.WithTopK(r.sc.TopK)), &coll.ops[OpTopK])
+	case OpFlood:
+		r.doQuery(ctx, armada.NewRange(smp.ranges(false), armada.WithFlood()), &coll.ops[OpFlood])
+	}
+}
+
+func (r *Runner) doPublish(smp *sampler, pool *keyPool, oc *opCollector) {
+	rec := pubRec{name: pool.nextName(), values: smp.values()}
+	start := time.Now()
+	err := r.net.Publish(rec.name, rec.values...)
+	oc.record(start, err)
+	if err == nil {
+		pool.add(rec)
+	}
+}
+
+func (r *Runner) doQuery(ctx context.Context, q armada.Query, oc *opCollector) {
+	start := time.Now()
+	res, err := r.net.Do(ctx, q)
+	if err != nil && ctx.Err() != nil {
+		return // shutdown races are not workload errors
+	}
+	oc.record(start, err)
+	if err == nil {
+		oc.delay.AddInt(res.Stats.Delay)
+		oc.msgs.AddInt(res.Stats.Messages)
+		oc.dest.AddInt(res.Stats.DestPeers)
+		oc.matches.AddInt(len(res.Objects))
+	}
+}
+
+// churn runs the merged Poisson join/leave/fail process until ctx ends.
+func (r *Runner) churn(ctx context.Context, coll *collector) {
+	sc := &r.sc
+	rng := rand.New(rand.NewSource(sc.Seed ^ 0x51f15eed))
+	total := sc.Churn.totalRate()
+	mean := float64(time.Second) / total
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		timer.Reset(time.Duration(rng.ExpFloat64() * mean))
+		select {
+		case <-ctx.Done():
+			return
+		case <-timer.C:
+		}
+		var err error
+		switch x := rng.Float64() * total; {
+		case x < sc.Churn.JoinPerSec:
+			if sc.Churn.MaxPeers > 0 && r.net.Size() >= sc.Churn.MaxPeers {
+				coll.churnSkips.Add(1)
+				continue
+			}
+			if _, err = r.net.Join(); err == nil {
+				coll.churnJoins.Add(1)
+			}
+		case x < sc.Churn.JoinPerSec+sc.Churn.LeavePerSec:
+			if r.net.Size() <= sc.Churn.MinPeers {
+				coll.churnSkips.Add(1)
+				continue
+			}
+			if err = r.net.Leave(r.net.RandomPeer()); err == nil {
+				coll.churnLeaves.Add(1)
+			}
+		default:
+			if r.net.Size() <= sc.Churn.MinPeers {
+				coll.churnSkips.Add(1)
+				continue
+			}
+			if err = r.net.Fail(r.net.RandomPeer()); err == nil {
+				coll.churnFails.Add(1)
+			}
+		}
+		if err != nil {
+			coll.churnErrs.Add(1)
+		}
+	}
+}
+
+// snapshots takes one Snapshot per scenario interval until ctx ends.
+func (r *Runner) snapshots(ctx context.Context, start time.Time, coll *collector) {
+	tick := time.NewTicker(r.sc.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		snap := coll.takeSnapshot(time.Since(start), r.net.Size())
+		if r.OnSnapshot != nil {
+			r.OnSnapshot(snap)
+		}
+	}
+}
+
+// report assembles the final Report.
+func (r *Runner) report(elapsed time.Duration, startPeers int, coll *collector) *Report {
+	secs := elapsed.Seconds()
+	rep := &Report{
+		Scenario:    r.sc.Name,
+		Seed:        r.sc.Seed,
+		Attributes:  len(r.sc.Attrs),
+		StartPeers:  startPeers,
+		EndPeers:    r.net.Size(),
+		DurationSec: secs,
+		Ops:         make(map[string]OpReport, int(numOps)),
+		Churn: ChurnReport{
+			Joins:   int(coll.churnJoins.Load()),
+			Leaves:  int(coll.churnLeaves.Load()),
+			Fails:   int(coll.churnFails.Load()),
+			Skipped: int(coll.churnSkips.Load()),
+			Errors:  int(coll.churnErrs.Load()),
+		},
+		Intervals: coll.snapshots(),
+	}
+	for k := OpKind(0); k < numOps; k++ {
+		oc := &coll.ops[k]
+		count := int(oc.count.Load())
+		if count == 0 {
+			continue
+		}
+		op := OpReport{
+			Count:     count,
+			Errors:    int(oc.errs.Load()),
+			Misses:    int(oc.misses.Load()),
+			LatencyMs: quantilesOf(oc.lat.Snapshot()),
+			HopDelay:  quantilesOf(oc.delay.Snapshot()),
+			Messages:  quantilesOf(oc.msgs.Snapshot()),
+			DestPeers: quantilesOf(oc.dest.Snapshot()),
+			Matches:   quantilesOf(oc.matches.Snapshot()),
+		}
+		if secs > 0 {
+			op.Throughput = float64(count) / secs
+		}
+		rep.Ops[k.String()] = op
+		rep.TotalOps += count
+		rep.TotalErrors += op.Errors
+	}
+	if secs > 0 {
+		rep.Throughput = float64(rep.TotalOps) / secs
+	}
+	return rep
+}
+
+// opCollector gathers one operation kind's metrics from many workers.
+type opCollector struct {
+	count  atomic.Int64
+	errs   atomic.Int64
+	misses atomic.Int64
+
+	lat     stats.SafeSample // wall-clock service time, ms
+	delay   stats.SafeSample // hop delay (query kinds)
+	msgs    stats.SafeSample // overlay messages (query kinds)
+	dest    stats.SafeSample // destination peers (query kinds)
+	matches stats.SafeSample // result-set size (query kinds)
+}
+
+// record counts one completed operation; successful ones contribute their
+// wall-clock latency.
+func (oc *opCollector) record(start time.Time, err error) {
+	oc.count.Add(1)
+	if err != nil {
+		oc.errs.Add(1)
+		return
+	}
+	oc.lat.Add(float64(time.Since(start)) / float64(time.Millisecond))
+}
+
+// collector aggregates a whole run.
+type collector struct {
+	ops [numOps]opCollector
+
+	churnJoins  atomic.Int64
+	churnLeaves atomic.Int64
+	churnFails  atomic.Int64
+	churnSkips  atomic.Int64
+	churnErrs   atomic.Int64
+
+	snapMu   sync.Mutex
+	snaps    []Snapshot
+	lastOps  int64
+	lastErrs int64
+	lastAt   time.Duration
+}
+
+func (c *collector) totals() (ops, errs int64) {
+	for i := range c.ops {
+		ops += c.ops[i].count.Load()
+		errs += c.ops[i].errs.Load()
+	}
+	return ops, errs
+}
+
+// takeSnapshot records the interval since the previous snapshot. at is
+// clamped to the previous snapshot's time so a final snapshot racing a
+// periodic tick can never make the interval list go backwards.
+func (c *collector) takeSnapshot(at time.Duration, peers int) Snapshot {
+	ops, errs := c.totals()
+	c.snapMu.Lock()
+	defer c.snapMu.Unlock()
+	if at < c.lastAt {
+		at = c.lastAt
+	}
+	snap := Snapshot{
+		AtSec:  at.Seconds(),
+		Ops:    int(ops - c.lastOps),
+		Errors: int(errs - c.lastErrs),
+		Peers:  peers,
+	}
+	if dt := (at - c.lastAt).Seconds(); dt > 0 {
+		snap.Throughput = float64(snap.Ops) / dt
+	}
+	c.lastOps, c.lastErrs, c.lastAt = ops, errs, at
+	c.snaps = append(c.snaps, snap)
+	return snap
+}
+
+func (c *collector) snapshots() []Snapshot {
+	c.snapMu.Lock()
+	defer c.snapMu.Unlock()
+	return append([]Snapshot(nil), c.snaps...)
+}
+
+// pubRec is one live published object the pool can hand to unpublish and
+// lookup operations.
+type pubRec struct {
+	name   string
+	values []float64
+}
+
+// keyPool tracks the set of currently published objects across all
+// workers.
+type keyPool struct {
+	seq  atomic.Int64
+	mu   sync.Mutex
+	recs []pubRec
+}
+
+// nextName mints a unique object name.
+func (p *keyPool) nextName() string {
+	return fmt.Sprintf("wl-%08d", p.seq.Add(1))
+}
+
+func (p *keyPool) add(rec pubRec) {
+	p.mu.Lock()
+	p.recs = append(p.recs, rec)
+	p.mu.Unlock()
+}
+
+// take removes and returns a uniformly random record.
+func (p *keyPool) take(rng *rand.Rand) (pubRec, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.recs) == 0 {
+		return pubRec{}, false
+	}
+	i := rng.Intn(len(p.recs))
+	rec := p.recs[i]
+	last := len(p.recs) - 1
+	p.recs[i] = p.recs[last]
+	p.recs = p.recs[:last]
+	return rec, true
+}
+
+// sampleName returns a random live object name without removing it.
+func (p *keyPool) sampleName(rng *rand.Rand) (string, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.recs) == 0 {
+		return "", false
+	}
+	return p.recs[rng.Intn(len(p.recs))].name, true
+}
+
+// sleepCtx sleeps for d or until ctx is done.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}

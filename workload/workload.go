@@ -1,0 +1,330 @@
+// Package workload is a scenario-driven load generator for a live
+// armada.Network: many concurrent workers issue a weighted mix of
+// operations (publish, unpublish, lookup, range, multi-range, top-k,
+// flood) with configurable key and range-size distributions, under an
+// optional churn process that joins, gracefully removes and crashes peers
+// while the traffic runs.
+//
+// A Scenario declares the workload; a Runner executes it for a duration or
+// an operation count under a context.Context and produces a Report with
+// per-op-kind throughput, error counts, wall-clock latency percentiles and
+// the paper's hop-delay/message metrics, plus periodic interval snapshots.
+// Reports marshal to JSON — the format the repo's BENCH_*.json entries
+// use.
+//
+//	sc, _ := workload.Preset("churn-heavy")
+//	rep, err := workload.Execute(ctx, sc)
+//	json.NewEncoder(os.Stdout).Encode(rep)
+//
+// Named presets (steady, zipf-hot, churn-heavy, flood-storm, mixed) cover
+// the scenario space the paper does not: skewed access, heavy churn and
+// the unpruned-flood ablation under load. The armada-load command is the
+// CLI front end.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"armada"
+)
+
+// OpKind identifies one operation type of the mix.
+type OpKind int
+
+// Operation kinds, in mix order.
+const (
+	OpPublish OpKind = iota
+	OpUnpublish
+	OpLookup
+	OpRange
+	OpMultiRange
+	OpTopK
+	OpFlood
+	numOps
+)
+
+// String names the kind; the names key the Report's per-op map.
+func (k OpKind) String() string {
+	switch k {
+	case OpPublish:
+		return "publish"
+	case OpUnpublish:
+		return "unpublish"
+	case OpLookup:
+		return "lookup"
+	case OpRange:
+		return "range"
+	case OpMultiRange:
+		return "multi-range"
+	case OpTopK:
+		return "top-k"
+	case OpFlood:
+		return "flood"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Mix holds the relative weight of each operation kind. Weights are
+// arbitrary non-negative numbers; only their ratios matter. A zero weight
+// disables the kind.
+//
+// Range constrains the first attribute and leaves the others unbounded;
+// MultiRange constrains every attribute (on a single-attribute network the
+// two coincide). Unpublish targets a previously published object; when
+// none remains, the operation falls back to a publish so the mix stays
+// sustainable.
+type Mix struct {
+	Publish    float64 `json:"publish,omitempty"`
+	Unpublish  float64 `json:"unpublish,omitempty"`
+	Lookup     float64 `json:"lookup,omitempty"`
+	Range      float64 `json:"range,omitempty"`
+	MultiRange float64 `json:"multi_range,omitempty"`
+	TopK       float64 `json:"top_k,omitempty"`
+	Flood      float64 `json:"flood,omitempty"`
+}
+
+// weights returns the mix in OpKind order.
+func (m Mix) weights() [numOps]float64 {
+	return [numOps]float64{m.Publish, m.Unpublish, m.Lookup, m.Range, m.MultiRange, m.TopK, m.Flood}
+}
+
+func (m Mix) total() float64 {
+	t := 0.0
+	for _, w := range m.weights() {
+		t += w
+	}
+	return t
+}
+
+// KeyDistKind selects how attribute values (and range-query centers) are
+// drawn from an attribute space.
+type KeyDistKind int
+
+const (
+	// KeyUniform draws values uniformly over the attribute space.
+	KeyUniform KeyDistKind = iota
+	// KeyZipf draws bucket ranks from a Zipf distribution, concentrating
+	// traffic on the low end of the space.
+	KeyZipf
+	// KeyHotspot draws from a small hot sub-interval with high
+	// probability and uniformly otherwise.
+	KeyHotspot
+)
+
+// String names the distribution kind.
+func (k KeyDistKind) String() string {
+	switch k {
+	case KeyUniform:
+		return "uniform"
+	case KeyZipf:
+		return "zipf"
+	case KeyHotspot:
+		return "hotspot"
+	default:
+		return fmt.Sprintf("KeyDistKind(%d)", int(k))
+	}
+}
+
+// KeyDist configures the value distribution of published objects and
+// query targets.
+type KeyDist struct {
+	Kind KeyDistKind `json:"kind"`
+	// ZipfS is the Zipf exponent (> 1; default 1.2). KeyZipf only.
+	ZipfS float64 `json:"zipf_s,omitempty"`
+	// HotFraction is the width of the hot interval as a fraction of the
+	// space (default 0.1). KeyHotspot only.
+	HotFraction float64 `json:"hot_fraction,omitempty"`
+	// HotWeight is the probability of drawing from the hot interval
+	// (default 0.9). KeyHotspot only.
+	HotWeight float64 `json:"hot_weight,omitempty"`
+}
+
+// SizeDist draws a queried range's width as a fraction of the attribute
+// space, uniformly in [MinFrac, MaxFrac].
+type SizeDist struct {
+	MinFrac float64 `json:"min_frac"`
+	MaxFrac float64 `json:"max_frac"`
+}
+
+// Arrival selects the arrival model.
+//
+// With RatePerSec zero the load is closed-loop: Workers workers each issue
+// operations back to back (optionally separated by Think). With RatePerSec
+// positive the load is open-loop: operations arrive as a Poisson process
+// at that rate and are served by up to Workers concurrent executors
+// (arrivals beyond that backlog briefly, bounding overload).
+type Arrival struct {
+	Workers    int           `json:"workers"`
+	RatePerSec float64       `json:"rate_per_sec,omitempty"`
+	Think      time.Duration `json:"think,omitempty"`
+}
+
+// Churn is a peer-dynamics process running concurrently with the traffic:
+// joins, graceful leaves and crash-stops arrive as a merged Poisson
+// process with the given per-second rates. Leaves and crashes are skipped
+// while the network is at or below MinPeers, joins while at or above
+// MaxPeers (0 = unbounded); skips are counted in the report.
+type Churn struct {
+	JoinPerSec  float64 `json:"join_per_sec,omitempty"`
+	LeavePerSec float64 `json:"leave_per_sec,omitempty"`
+	FailPerSec  float64 `json:"fail_per_sec,omitempty"`
+	MinPeers    int     `json:"min_peers,omitempty"`
+	MaxPeers    int     `json:"max_peers,omitempty"`
+}
+
+func (c Churn) totalRate() float64 { return c.JoinPerSec + c.LeavePerSec + c.FailPerSec }
+
+// Enabled reports whether any churn rate is positive.
+func (c Churn) Enabled() bool { return c.totalRate() > 0 }
+
+// Scenario declares one workload: the network shape, the operation mix and
+// its distributions, the arrival model, the churn process, and the stop
+// condition (Ops and/or Duration — whichever is reached first ends the
+// run; at least one must be set).
+type Scenario struct {
+	// Name labels the scenario in reports.
+	Name string `json:"name"`
+	// Peers is the initial network size Execute builds (ignored by Run,
+	// which receives a live network).
+	Peers int `json:"peers"`
+	// Seed makes runs reproducible op-for-op under closed-loop arrivals
+	// (wall-clock metrics still vary).
+	Seed int64 `json:"seed"`
+	// Attrs are the attribute spaces; default one [0, 1000] space.
+	Attrs []armada.AttributeSpace `json:"attrs,omitempty"`
+	// Preload is the number of objects published before the measured run
+	// starts (they also seed the unpublish pool).
+	Preload int `json:"preload"`
+	// TopK is the K of top-k operations (default 10).
+	TopK int `json:"top_k,omitempty"`
+
+	Mix       Mix      `json:"mix"`
+	Keys      KeyDist  `json:"keys"`
+	RangeSize SizeDist `json:"range_size"`
+	Arrival   Arrival  `json:"arrival"`
+	Churn     Churn    `json:"churn"`
+
+	// Ops stops the run after that many completed operations (0 = no op
+	// limit).
+	Ops int `json:"ops,omitempty"`
+	// Duration stops the run after that much wall-clock time (0 = no time
+	// limit).
+	Duration time.Duration `json:"duration,omitempty"`
+	// Interval is the snapshot period (default 1s).
+	Interval time.Duration `json:"interval,omitempty"`
+}
+
+// ErrBadScenario tags scenario validation failures.
+var ErrBadScenario = errors.New("workload: invalid scenario")
+
+// withDefaults returns the scenario with zero values filled in.
+func (s Scenario) withDefaults() Scenario {
+	if s.Name == "" {
+		s.Name = "custom"
+	}
+	if s.Peers == 0 {
+		s.Peers = 500
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if len(s.Attrs) == 0 {
+		s.Attrs = []armada.AttributeSpace{{Low: 0, High: 1000}}
+	}
+	if s.TopK == 0 {
+		s.TopK = 10
+	}
+	if s.Mix.total() == 0 {
+		s.Mix = Mix{Publish: 10, Unpublish: 5, Lookup: 10, Range: 70, TopK: 5}
+	}
+	if s.Keys.Kind == KeyZipf && s.Keys.ZipfS == 0 {
+		s.Keys.ZipfS = 1.2
+	}
+	if s.Keys.Kind == KeyHotspot {
+		if s.Keys.HotFraction == 0 {
+			s.Keys.HotFraction = 0.1
+		}
+		if s.Keys.HotWeight == 0 {
+			s.Keys.HotWeight = 0.9
+		}
+	}
+	if s.RangeSize.MinFrac == 0 && s.RangeSize.MaxFrac == 0 {
+		s.RangeSize = SizeDist{MinFrac: 0.01, MaxFrac: 0.1}
+	}
+	if s.Arrival.Workers == 0 {
+		s.Arrival.Workers = 8
+	}
+	if s.Churn.Enabled() && s.Churn.MinPeers == 0 {
+		s.Churn.MinPeers = 16
+	}
+	if s.Interval == 0 {
+		s.Interval = time.Second
+	}
+	return s
+}
+
+// Normalize returns the scenario with every zero field defaulted, and an
+// ErrBadScenario error when the result is not executable — the same
+// preparation New and Execute apply internally. Callers that build the
+// network themselves use it to see the effective peer count, seed and
+// attribute spaces.
+func (s Scenario) Normalize() (Scenario, error) {
+	s = s.withDefaults()
+	return s, s.validate()
+}
+
+// validate checks a defaults-filled scenario.
+func (s Scenario) validate() error {
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("%w: %s", ErrBadScenario, fmt.Sprintf(format, args...))
+	}
+	if s.Peers < 3 {
+		return bad("peers %d < 3", s.Peers)
+	}
+	for i, w := range s.Mix.weights() {
+		if w < 0 {
+			return bad("negative weight for %v", OpKind(i))
+		}
+	}
+	if s.Mix.total() <= 0 {
+		return bad("operation mix is empty")
+	}
+	if s.Ops <= 0 && s.Duration <= 0 {
+		return bad("need a stop condition: Ops or Duration")
+	}
+	if s.Ops < 0 || s.Duration < 0 || s.Preload < 0 {
+		return bad("negative Ops, Duration or Preload")
+	}
+	if s.Keys.Kind == KeyZipf && s.Keys.ZipfS <= 1 {
+		return bad("Zipf exponent %v must exceed 1", s.Keys.ZipfS)
+	}
+	if s.Keys.Kind == KeyHotspot &&
+		(s.Keys.HotFraction <= 0 || s.Keys.HotFraction > 1 ||
+			s.Keys.HotWeight < 0 || s.Keys.HotWeight > 1) {
+		return bad("hotspot fraction %v / weight %v out of range", s.Keys.HotFraction, s.Keys.HotWeight)
+	}
+	if s.RangeSize.MinFrac < 0 || s.RangeSize.MaxFrac > 1 || s.RangeSize.MinFrac > s.RangeSize.MaxFrac {
+		return bad("range-size fractions [%v, %v] out of order", s.RangeSize.MinFrac, s.RangeSize.MaxFrac)
+	}
+	if s.Arrival.Workers < 1 {
+		return bad("workers %d < 1", s.Arrival.Workers)
+	}
+	if s.Arrival.RatePerSec < 0 || s.Arrival.Think < 0 {
+		return bad("negative arrival rate or think time")
+	}
+	if s.Churn.JoinPerSec < 0 || s.Churn.LeavePerSec < 0 || s.Churn.FailPerSec < 0 {
+		return bad("negative churn rate")
+	}
+	if s.TopK < 1 && s.Mix.TopK > 0 {
+		return bad("top-k weight set but K = %d", s.TopK)
+	}
+	for i, a := range s.Attrs {
+		if !(a.Low < a.High) {
+			return bad("attribute %d space [%v, %v]", i, a.Low, a.High)
+		}
+	}
+	return nil
+}

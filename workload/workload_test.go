@@ -1,0 +1,322 @@
+package workload
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+
+	"armada"
+)
+
+// small returns a quick closed-loop scenario for tests.
+func small() Scenario {
+	return Scenario{
+		Name:    "test",
+		Peers:   80,
+		Seed:    11,
+		Preload: 200,
+		Ops:     300,
+		Mix:     Mix{Publish: 10, Unpublish: 8, Lookup: 10, Range: 50, TopK: 5},
+		Arrival: Arrival{Workers: 4},
+	}
+}
+
+func TestPresetsValid(t *testing.T) {
+	ps := Presets()
+	if len(ps) != 5 {
+		t.Fatalf("presets = %d, want 5", len(ps))
+	}
+	for _, p := range ps {
+		sc := p.withDefaults()
+		if err := sc.validate(); err != nil {
+			t.Errorf("preset %q invalid: %v", p.Name, err)
+		}
+		if sc.Ops <= 0 && sc.Duration <= 0 {
+			t.Errorf("preset %q has no stop condition", p.Name)
+		}
+	}
+	if _, ok := Preset("churn-heavy"); !ok {
+		t.Error("Preset(churn-heavy) not found")
+	}
+	// Returned presets are detached copies: mutating one must not corrupt
+	// the package-level table.
+	first, _ := Preset("mixed")
+	first.Attrs[0].High = -1
+	second, _ := Preset("mixed")
+	if second.Attrs[0].High == -1 {
+		t.Error("Preset returns aliased Attrs; mutation leaked into the preset table")
+	}
+	if _, ok := Preset("no-such"); ok {
+		t.Error("Preset(no-such) found")
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	bad := []Scenario{
+		{Peers: 2, Ops: 10},
+		{Mix: Mix{Range: -1}, Ops: 10},
+		{Ops: 0, Duration: 0},
+		{Keys: KeyDist{Kind: KeyZipf, ZipfS: 0.5}, Ops: 10},
+		{RangeSize: SizeDist{MinFrac: 0.5, MaxFrac: 0.1}, Ops: 10},
+		{Churn: Churn{JoinPerSec: -1}, Ops: 10},
+	}
+	for i, sc := range bad {
+		if err := sc.withDefaults().validate(); !errors.Is(err, ErrBadScenario) {
+			t.Errorf("bad scenario %d: err = %v, want ErrBadScenario", i, err)
+		}
+	}
+	if err := small().withDefaults().validate(); err != nil {
+		t.Errorf("small scenario invalid: %v", err)
+	}
+}
+
+func TestNewRejectsAttributeMismatch(t *testing.T) {
+	net, err := armada.NewNetwork(50, armada.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := small()
+	sc.Attrs = []armada.AttributeSpace{{Low: 0, High: 1}, {Low: 0, High: 1}}
+	if _, err := New(net, sc); !errors.Is(err, ErrBadScenario) {
+		t.Fatalf("attribute mismatch: err = %v, want ErrBadScenario", err)
+	}
+}
+
+func TestExecuteClosedLoop(t *testing.T) {
+	rep, err := Execute(context.Background(), small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalOps != 300 {
+		t.Errorf("total ops = %d, want 300", rep.TotalOps)
+	}
+	if rep.TotalErrors != 0 {
+		t.Errorf("total errors = %d, want 0", rep.TotalErrors)
+	}
+	if rep.Throughput <= 0 || rep.DurationSec <= 0 {
+		t.Errorf("throughput/duration = %v/%v", rep.Throughput, rep.DurationSec)
+	}
+	if rep.StartPeers != 80 || rep.EndPeers != 80 {
+		t.Errorf("peers = %d → %d, want stable 80", rep.StartPeers, rep.EndPeers)
+	}
+	sum := 0
+	for _, op := range rep.Ops {
+		sum += op.Count
+	}
+	if sum != rep.TotalOps {
+		t.Errorf("per-kind counts sum to %d, total %d", sum, rep.TotalOps)
+	}
+	rng, ok := rep.Ops["range"]
+	if !ok {
+		t.Fatal("no range ops recorded")
+	}
+	if rng.LatencyMs.P50 <= 0 || rng.LatencyMs.P99 < rng.LatencyMs.P50 {
+		t.Errorf("range latency quantiles inconsistent: %+v", rng.LatencyMs)
+	}
+	if rng.HopDelay.Max <= 0 || rng.Messages.Mean <= 0 || rng.DestPeers.Mean <= 0 {
+		t.Errorf("range hop metrics missing: %+v %+v %+v", rng.HopDelay, rng.Messages, rng.DestPeers)
+	}
+	if len(rep.Intervals) == 0 {
+		t.Error("no interval snapshots")
+	}
+	last := rep.Intervals[len(rep.Intervals)-1]
+	if last.Peers != 80 {
+		t.Errorf("final snapshot peers = %d", last.Peers)
+	}
+}
+
+func TestExecuteOpenLoop(t *testing.T) {
+	sc := small()
+	sc.Ops = 150
+	sc.Arrival = Arrival{Workers: 4, RatePerSec: 20000}
+	rep, err := Execute(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalOps != 150 {
+		t.Errorf("total ops = %d, want 150", rep.TotalOps)
+	}
+}
+
+func TestExecuteDurationStop(t *testing.T) {
+	sc := small()
+	sc.Ops = 0
+	sc.Duration = 250 * time.Millisecond
+	sc.Interval = 50 * time.Millisecond
+	rep, err := Execute(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalOps == 0 {
+		t.Error("duration-stopped run completed no ops")
+	}
+	if rep.DurationSec < 0.2 {
+		t.Errorf("run lasted %vs, want ≈0.25s", rep.DurationSec)
+	}
+	if len(rep.Intervals) < 2 {
+		t.Errorf("intervals = %d, want periodic snapshots plus final", len(rep.Intervals))
+	}
+}
+
+func TestExecuteCancelled(t *testing.T) {
+	sc := small()
+	sc.Ops = 0
+	sc.Duration = time.Hour
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := Execute(ctx, sc); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestChurnRunKeepsInvariants(t *testing.T) {
+	sc := small()
+	sc.Name = "churn-test"
+	sc.Peers = 120
+	sc.Ops = 400
+	// In-process ops finish in microseconds, so slow the workers a touch
+	// and churn fast to guarantee events land inside the run window.
+	sc.Arrival.Think = 500 * time.Microsecond
+	sc.Churn = Churn{JoinPerSec: 1500, LeavePerSec: 1000, FailPerSec: 500, MinPeers: 48}
+	net, err := armada.NewNetwork(sc.Peers, armada.WithSeed(sc.Seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := New(net, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalErrors != 0 {
+		t.Errorf("query errors under churn = %d, want 0", rep.TotalErrors)
+	}
+	if rep.Churn.Errors != 0 {
+		t.Errorf("churn errors = %d, want 0", rep.Churn.Errors)
+	}
+	if rep.Churn.Joins+rep.Churn.Leaves+rep.Churn.Fails == 0 {
+		t.Error("churn process executed no events; raise rates")
+	}
+	if err := net.Audit(); err != nil {
+		t.Errorf("audit after churn run: %v", err)
+	}
+	if rep.EndPeers != net.Size() {
+		t.Errorf("report end peers %d != network size %d", rep.EndPeers, net.Size())
+	}
+}
+
+func TestUnpublishFallbackSustainsMix(t *testing.T) {
+	sc := Scenario{
+		Name:    "delete-only",
+		Peers:   60,
+		Seed:    5,
+		Preload: 20,
+		Ops:     100,
+		Mix:     Mix{Unpublish: 1},
+		Arrival: Arrival{Workers: 2},
+	}
+	rep, err := Execute(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	un, pub := rep.Ops["unpublish"], rep.Ops["publish"]
+	if un.Count == 0 || pub.Count == 0 {
+		t.Fatalf("counts unpublish=%d publish=%d; fallback should record publishes", un.Count, pub.Count)
+	}
+	if un.Count+pub.Count != 100 {
+		t.Errorf("counts sum to %d, want 100", un.Count+pub.Count)
+	}
+	if rep.TotalErrors != 0 {
+		t.Errorf("errors = %d, want 0", rep.TotalErrors)
+	}
+}
+
+func TestReportJSONSchema(t *testing.T) {
+	sc := small()
+	sc.Ops = 120
+	rep, err := Execute(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"scenario", "start_peers", "end_peers", "duration_sec",
+		"total_ops", "throughput_per_sec", "ops", "churn", "intervals"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("report JSON missing %q", key)
+		}
+	}
+	ops, ok := m["ops"].(map[string]any)
+	if !ok || len(ops) == 0 {
+		t.Fatalf("ops section missing or empty: %v", m["ops"])
+	}
+	rngOp, ok := ops["range"].(map[string]any)
+	if !ok {
+		t.Fatal("ops.range missing")
+	}
+	for _, key := range []string{"count", "throughput_per_sec", "latency_ms", "hop_delay", "messages", "dest_peers"} {
+		if _, ok := rngOp[key]; !ok {
+			t.Errorf("ops.range missing %q", key)
+		}
+	}
+	lat, ok := rngOp["latency_ms"].(map[string]any)
+	if !ok {
+		t.Fatal("latency_ms not an object")
+	}
+	for _, key := range []string{"mean", "p50", "p95", "p99", "max"} {
+		if _, ok := lat[key]; !ok {
+			t.Errorf("latency_ms missing %q", key)
+		}
+	}
+}
+
+func TestKeyDistributions(t *testing.T) {
+	for _, kind := range []KeyDistKind{KeyUniform, KeyZipf, KeyHotspot} {
+		sc := small()
+		sc.Keys = KeyDist{Kind: kind}
+		sc = sc.withDefaults()
+		smp := newSampler(&sc, 99)
+		space := sc.Attrs[0]
+		for i := 0; i < 2000; i++ {
+			v := smp.value(space)
+			if v < space.Low || v > space.High {
+				t.Fatalf("%v draw %v outside [%v, %v]", kind, v, space.Low, space.High)
+			}
+		}
+		for i := 0; i < 200; i++ {
+			for _, r := range smp.ranges(true) {
+				if r.Low > r.High {
+					t.Fatalf("%v range [%v, %v] inverted", kind, r.Low, r.High)
+				}
+			}
+		}
+	}
+	// Zipf must actually skew low.
+	sc := small()
+	sc.Keys = KeyDist{Kind: KeyZipf}
+	sc = sc.withDefaults()
+	smp := newSampler(&sc, 7)
+	low := 0
+	const draws = 4000
+	for i := 0; i < draws; i++ {
+		if smp.frac() < 0.1 {
+			low++
+		}
+	}
+	if float64(low)/draws < 0.5 {
+		t.Errorf("zipf: only %d/%d draws in the low decile", low, draws)
+	}
+}
