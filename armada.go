@@ -57,12 +57,20 @@ var (
 
 // Network is a simulated FISSIONE overlay with Armada query processing.
 //
-// Mutating operations (Join, Leave, Publish) and queries are safe for
-// concurrent use; mutations take a write lock, queries a read lock. The
-// query engine itself is stateless — every query carries its own
-// configuration — so any number of queries, traced or not, may run
-// concurrently.
+// All operations are safe for concurrent use under a two-tier locking
+// scheme. The topology lock (mu) is held exclusively only by topology
+// changes — Join, Leave and Fail — and shared by everything else: queries,
+// publishes and unpublishes all run under the read lock and therefore
+// concurrently with one another. Store mutations serialize per peer on the
+// owning peer's own lock inside the fissione layer, so publishes to
+// different peers never contend and a publish never blocks a query except
+// on the one peer it writes. The query engine itself is stateless — every
+// query carries its own configuration — so any number of queries, traced
+// or not, may run concurrently.
 type Network struct {
+	// mu is the topology lock: writers are Join/Leave/Fail only; queries,
+	// publishes and unpublishes are readers (per-peer store locks order
+	// their access to each peer's objects).
 	mu   sync.RWMutex
 	net  *fissione.Network
 	tree *naming.Tree
@@ -197,9 +205,11 @@ func wrapFissioneErr(err error, peerID string) error {
 // Publish stores an object named name with the given attribute values (one
 // per configured attribute). The object is placed on the peer owning its
 // order-preserving ObjectID and becomes discoverable by range queries.
+// Publishes hold only the topology read lock plus the owning peer's store
+// lock, so they run concurrently with queries and with each other.
 func (n *Network) Publish(name string, values ...float64) error {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	return n.publishLocked(name, values)
 }
 
@@ -210,12 +220,17 @@ type Publication struct {
 	Values []float64
 }
 
-// PublishBatch stores many objects under a single write-lock acquisition —
-// the bulk-ingest path. Publication i failing aborts the batch with an
-// error naming i; objects before it remain published.
+// PublishBatch stores many objects under a single topology-lock
+// acquisition — the bulk-ingest path. Publication i failing aborts the
+// batch with an error naming i; objects before it remain published.
+//
+// A batch is not atomic with respect to readers: publishes land peer by
+// peer, so a concurrent query may observe part of a still-running batch
+// (pre-refactor, the batch held the write lock and appeared all at once).
+// Callers needing all-or-nothing visibility must add their own barrier.
 func (n *Network) PublishBatch(pubs []Publication) error {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	for i, p := range pubs {
 		if err := n.publishLocked(p.Name, p.Values); err != nil {
 			return fmt.Errorf("armada: batch publication %d: %w", i, err)
@@ -224,7 +239,8 @@ func (n *Network) PublishBatch(pubs []Publication) error {
 	return nil
 }
 
-// publishLocked places one object; the caller holds the write lock.
+// publishLocked places one object; the caller holds at least the topology
+// read lock (the owning peer's store lock orders the write itself).
 func (n *Network) publishLocked(name string, values []float64) error {
 	if len(values) != n.tree.Attrs() {
 		return fmt.Errorf("%w: got %d values, want %d", ErrBadArity, len(values), n.tree.Attrs())
@@ -242,8 +258,8 @@ func (n *Network) publishLocked(name string, values []float64) error {
 // possible without unbounded growth. It returns ErrNoSuchObject when no
 // such object is stored. Duplicate publications are removed one at a time.
 func (n *Network) Unpublish(name string, values ...float64) error {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	if len(values) != n.tree.Attrs() {
 		return fmt.Errorf("%w: got %d values, want %d", ErrBadArity, len(values), n.tree.Attrs())
 	}
@@ -257,13 +273,14 @@ func (n *Network) Unpublish(name string, values ...float64) error {
 // UnpublishExact removes one value-less object previously stored by
 // PublishExact under name. It returns ErrNoSuchObject when absent.
 func (n *Network) UnpublishExact(name string) error {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	oid := kautz.Hash(name, n.net.K())
 	return n.wrapUnpublishErr(n.unpublishAt(oid, fissione.Object{Name: name}), name)
 }
 
-// unpublishAt removes one matching object; the caller holds the write lock.
+// unpublishAt removes one matching object; the caller holds at least the
+// topology read lock.
 func (n *Network) unpublishAt(oid kautz.Str, obj fissione.Object) error {
 	_, err := n.net.UnpublishAt(oid, obj)
 	return err
@@ -280,8 +297,8 @@ func (n *Network) wrapUnpublishErr(err error, name string) error {
 // PublishExact stores a value-less object under Kautz_hash(name) for
 // exact-match lookup only.
 func (n *Network) PublishExact(name string) error {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	oid := kautz.Hash(name, n.net.K())
 	_, err := n.net.PublishAt(oid, fissione.Object{Name: name})
 	return err
@@ -324,10 +341,17 @@ func (n *Network) Do(ctx context.Context, q Query) (*Result, error) {
 // yielded as the final pair. Top-k queries cannot stream (their result set
 // is only known once the descent finishes); use Do.
 //
+// With WithLimit(n) the stream ends after n objects. Because delivery
+// order is not ObjectID order, those are the first n delivered — not
+// necessarily the n smallest ObjectIDs — so exact keyset pagination
+// (NextOffsetID continuation) requires Do; a streamed limit is a cap, not
+// a page.
+//
 // The descent never waits on the consumer: delivered objects buffer until
 // yielded, and the read lock is released as soon as the descent finishes,
-// however slowly the loop body runs. Mutating the network (Publish, Join,
-// Leave) from inside the loop is safe but blocks until that point.
+// however slowly the loop body runs. Publishing from inside the loop is
+// safe and does not block (publishes share the topology read lock);
+// topology changes (Join, Leave, Fail) block until the descent finishes.
 func (n *Network) Stream(ctx context.Context, q Query) iter.Seq2[Object, error] {
 	return func(yield func(Object, error) bool) {
 		if q.kind() == KindTopK {
@@ -370,6 +394,7 @@ func (n *Network) Stream(ctx context.Context, q Query) iter.Seq2[Object, error] 
 		var (
 			finished bool
 			queryErr error
+			yielded  int
 		)
 		for {
 			bufMu.Lock()
@@ -381,6 +406,15 @@ func (n *Network) Stream(ctx context.Context, q Query) iter.Seq2[Object, error] 
 					cancel()
 					if !finished {
 						<-done // the query goroutine sends exactly once
+					}
+					return
+				}
+				if yielded++; q.Limit > 0 && yielded >= q.Limit {
+					// The limit is reached: end the stream like a consumer
+					// break, cancelling whatever remains of the descent.
+					cancel()
+					if !finished {
+						<-done
 					}
 					return
 				}
@@ -405,7 +439,8 @@ func (n *Network) Stream(ctx context.Context, q Query) iter.Seq2[Object, error] 
 // do dispatches one query on the engine. The caller holds the read lock;
 // onMatch, when non-nil, streams each matching object at delivery time.
 func (n *Network) do(ctx context.Context, q Query, issuer string, onMatch func(Object)) (*Result, error) {
-	opts := make([]core.QueryOption, 0, 3)
+	kind := q.kind()
+	opts := make([]core.QueryOption, 0, 5)
 	if n.mode == core.Async {
 		opts = append(opts, core.WithMode(core.Async))
 	}
@@ -420,8 +455,26 @@ func (n *Network) do(ctx context.Context, q Query, issuer string, onMatch func(O
 			onMatch(objectOf(m))
 		}))
 	}
+	if q.Limit != 0 || q.OffsetID != "" {
+		if kind != KindRange && kind != KindFlood {
+			return nil, fmt.Errorf("%w: pagination (WithLimit/WithOffsetID) applies to range and flood queries, not %v", ErrBadQuery, kind)
+		}
+		if q.Limit < 0 {
+			return nil, fmt.Errorf("%w: limit %d must be positive", ErrBadQuery, q.Limit)
+		}
+		if q.OffsetID != "" {
+			oid := kautz.Str(q.OffsetID)
+			if len(oid) != n.net.K() || !kautz.Valid(oid) {
+				return nil, fmt.Errorf("%w: offset %q is not an ObjectID of this network (Kautz string of length %d)", ErrBadQuery, q.OffsetID, n.net.K())
+			}
+			opts = append(opts, core.WithAfter(oid))
+		}
+		if q.Limit > 0 {
+			opts = append(opts, core.WithLimit(q.Limit))
+		}
+	}
 
-	switch kind := q.kind(); kind {
+	switch kind {
 	case KindLookup:
 		if q.Name == "" {
 			return nil, fmt.Errorf("%w: lookup needs a name", ErrBadQuery)
@@ -434,7 +487,7 @@ func (n *Network) do(ctx context.Context, q Query, issuer string, onMatch func(O
 		out := &Result{Owner: string(res.Owner), Stats: statsOf(res.Stats)}
 		for _, o := range res.Objects {
 			out.Objects = append(out.Objects, Object{
-				Name: o.Name, Values: o.Values, ID: string(oid), Peer: out.Owner,
+				Name: o.Name, Values: copyValues(o.Values), ID: string(oid), Peer: out.Owner,
 			})
 		}
 		return out, nil
@@ -444,6 +497,9 @@ func (n *Network) do(ctx context.Context, q Query, issuer string, onMatch func(O
 		if err != nil {
 			return nil, err
 		}
+		// resultOf reads the sorted runs directly; skipping the engine-side
+		// flatten saves one full copy of what may be a huge result set.
+		opts = append(opts, core.WithRunsOnly())
 		var res *core.RangeResult
 		if kind == KindFlood {
 			res, err = n.eng.FloodQuery(ctx, kautz.Str(issuer), lo, hi, opts...)

@@ -17,6 +17,12 @@
 //	    -churn "join=40,leave=30,fail=10" -peers 300 -ops 4000
 //
 // Flags given explicitly override the chosen preset's fields.
+//
+// With -compare the run's per-op p99 wall-clock latency is checked against
+// a committed baseline report and the command exits non-zero on a
+// regression beyond -compare-max-regress — the CI regression gate:
+//
+//	armada-load -scenario mixed -ops 2000 -peers 500 -compare BENCH_baseline.json
 package main
 
 import (
@@ -28,6 +34,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime/debug"
+	"sort"
 	"strconv"
 	"strings"
 	"text/tabwriter"
@@ -61,7 +69,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		attrs    = fs.Int("attrs", 0, "number of [0,1000] attributes (overrides the preset's spaces)")
 		preload  = fs.Int("preload", -1, "objects published before the measured run")
 		topk     = fs.Int("topk", 0, "K for top-k operations")
-		mix      = fs.String("mix", "", `op mix weights, e.g. "range=70,publish=10,lookup=10,unpublish=5,multi-range=0,top-k=5,flood=0"`)
+		mix      = fs.String("mix", "", `op mix weights, e.g. "range=70,publish=10,lookup=10,unpublish=5,multi-range=0,top-k=5,flood=0,range-paged=0"`)
 		keys     = fs.String("keys", "", "key distribution: uniform|zipf|hotspot")
 		zipfS    = fs.Float64("zipf-s", 0, "Zipf exponent (> 1)")
 		hotFrac  = fs.Float64("hot-frac", 0, "hotspot: hot interval width as a fraction of the space")
@@ -71,6 +79,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		minPeers = fs.Int("min-peers", 0, "churn floor: skip leaves/fails at or below this size")
 		maxPeers = fs.Int("max-peers", 0, "churn ceiling: skip joins at or above this size")
 		interval = fs.Duration("interval", 0, "snapshot period")
+		pageLim  = fs.Int("page-limit", 0, "page size for range-paged operations")
+		queueCap = fs.Int("queue-cap", 0, "open-loop dispatch queue bound (default 4×workers); full queue drops arrivals")
+		gogc     = fs.Int("gogc", 600, "GOGC percent for the run (load generators allocate fast against a small live heap); 0 leaves the runtime default, and an explicit GOGC env var always wins")
+		compare  = fs.String("compare", "", "baseline report JSON (BENCH_baseline.json); exit non-zero on p99 latency regression")
+		maxRegr  = fs.Float64("compare-max-regress", 0.25, "allowed relative p99 latency growth over the -compare baseline")
 		out      = fs.String("out", "", "write the JSON report to this file (default stdout)")
 		verbose  = fs.Bool("v", false, "print interval snapshots to stderr while running")
 	)
@@ -81,6 +94,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if *list {
 		printPresets(stdout)
 		return nil
+	}
+
+	// An allocation-heavy benchmark over a small live heap spends a third
+	// of its CPU in GC at the default GOGC; run with a larger target unless
+	// the operator chose one (env beats flag, -gogc 0 opts out entirely).
+	if *gogc > 0 && os.Getenv("GOGC") == "" {
+		debug.SetGCPercent(*gogc)
 	}
 
 	// With no -scenario the base is a neutral custom scenario (workload
@@ -161,6 +181,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			sc.Churn.MaxPeers = *maxPeers
 		case "interval":
 			sc.Interval = *interval
+		case "page-limit":
+			// Explicit 0/negative must not silently fall back to the
+			// workload default (withDefaults rewrites 0 before validation).
+			if *pageLim < 1 {
+				keep(fmt.Errorf("-page-limit %d: must be at least 1", *pageLim))
+			}
+			sc.PageLimit = *pageLim
+		case "queue-cap":
+			sc.Arrival.QueueCap = *queueCap
 		}
 	})
 	if parseErr != nil {
@@ -193,6 +222,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	// Whatever the run did to the overlay — churn storms included — every
+	// structural invariant must still hold.
+	if err := net.Audit(); err != nil {
+		return fmt.Errorf("post-run audit: %w", err)
+	}
 
 	w := stdout
 	if *out != "" {
@@ -210,7 +244,131 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 	fmt.Fprintf(stderr, "armada-load: %d ops in %.2fs (%.0f op/s), %d errors, peers %d → %d\n",
 		rep.TotalOps, rep.DurationSec, rep.Throughput, rep.TotalErrors, rep.StartPeers, rep.EndPeers)
+
+	if *compare != "" {
+		base, err := loadReport(*compare)
+		if err != nil {
+			return fmt.Errorf("-compare: %w", err)
+		}
+		return compareReports(stderr, rep, base, *maxRegr)
+	}
 	return nil
+}
+
+// compareAbsFloorMs ignores p99 movements smaller than this many
+// milliseconds: sub-millisecond quantiles jitter by whole multiples of
+// themselves across machines and runs, and a regression gate that fires on
+// them is noise, not signal.
+const compareAbsFloorMs = 5.0
+
+// compareMinCount skips op kinds with fewer completions than this — their
+// p99 is a handful of samples.
+const compareMinCount = 50
+
+// loadReport reads one workload report from a JSON file.
+func loadReport(path string) (*workload.Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep workload.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// compareErrRateSlack is how much an op's error rate may exceed the
+// baseline's before the gate fails. Latency quantiles only cover
+// successful ops, so without this check a change that turns queries into
+// fast errors would sail through with a "better" p99.
+const compareErrRateSlack = 0.02
+
+// compareReports checks the run's per-op p99 wall-clock latency and error
+// rate against the baseline, printing a table, and fails when any op kind
+// regressed by more than maxRegress (relative) and the absolute floor. A
+// p99 excursion alone is not enough: the op's p95 must have moved past the
+// same relative bar too, because with a few hundred samples the p99 is one
+// unlucky scheduler stall while a genuine regression (an O(store) scan, a
+// lock convoy) drags the whole tail.
+func compareReports(w io.Writer, rep, base *workload.Report, maxRegress float64) error {
+	errRate := func(o workload.OpReport) float64 {
+		if o.Count == 0 {
+			return 0
+		}
+		return float64(o.Errors) / float64(o.Count)
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "OP\tBASE p99 ms\tRUN p99 ms\tCHANGE\tRUN p95\tERR%%\tVERDICT\n")
+	var regressed []string
+	for _, name := range opNamesInOrder(rep, base) {
+		b, inBase := base.Ops[name]
+		r, inRun := rep.Ops[name]
+		if !inBase || !inRun || b.Count < compareMinCount || r.Count < compareMinCount {
+			continue
+		}
+		bp, rp := b.LatencyMs.P99, r.LatencyMs.P99
+		change := 0.0
+		if bp > 0 {
+			change = (rp - bp) / bp
+		}
+		verdict := "ok"
+		p99Bad := rp > bp*(1+maxRegress) && rp-bp > compareAbsFloorMs
+		p95Bad := r.LatencyMs.P95 > b.LatencyMs.P95*(1+maxRegress) &&
+			r.LatencyMs.P95-b.LatencyMs.P95 > compareAbsFloorMs/2
+		errBad := errRate(r) > errRate(b)+compareErrRateSlack
+		switch {
+		case errBad:
+			verdict = "REGRESSED (error rate)"
+			regressed = append(regressed, name)
+		case p99Bad && p95Bad:
+			verdict = "REGRESSED"
+			regressed = append(regressed, name)
+		case p99Bad:
+			verdict = "p99 outlier (p95 ok)"
+		}
+		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%+.0f%%\t%.3f\t%.1f\t%s\n",
+			name, bp, rp, change*100, r.LatencyMs.P95, errRate(r)*100, verdict)
+	}
+	tw.Flush()
+	if len(regressed) > 0 {
+		return fmt.Errorf("latency or error-rate regression (> %.0f%% p99 with > %.0fms floor, p95-confirmed; or error rate up > %.0f points) on: %s",
+			maxRegress*100, compareAbsFloorMs, compareErrRateSlack*100, strings.Join(regressed, ", "))
+	}
+	fmt.Fprintln(w, "armada-load: no p99 or error-rate regression against baseline")
+	return nil
+}
+
+// opNamesInOrder returns the union of op kinds of both reports in a stable
+// order (the workload's kind order, then anything unknown alphabetically).
+func opNamesInOrder(a, b *workload.Report) []string {
+	known := []string{"publish", "unpublish", "lookup", "range", "multi-range", "top-k", "flood", "range-paged"}
+	seen := map[string]bool{}
+	var out []string
+	for _, n := range known {
+		if _, ok := a.Ops[n]; !ok {
+			if _, ok := b.Ops[n]; !ok {
+				continue
+			}
+		}
+		seen[n] = true
+		out = append(out, n)
+	}
+	var extra []string
+	for n := range a.Ops {
+		if !seen[n] {
+			extra = append(extra, n)
+			seen[n] = true
+		}
+	}
+	for n := range b.Ops {
+		if !seen[n] {
+			extra = append(extra, n)
+			seen[n] = true
+		}
+	}
+	sort.Strings(extra)
+	return append(out, extra...)
 }
 
 // parseMix parses "range=70,publish=10,..." into a Mix.
@@ -219,6 +377,7 @@ func parseMix(s string) (workload.Mix, error) {
 	fields := map[string]*float64{
 		"publish": &m.Publish, "unpublish": &m.Unpublish, "lookup": &m.Lookup,
 		"range": &m.Range, "multi-range": &m.MultiRange, "top-k": &m.TopK, "flood": &m.Flood,
+		"range-paged": &m.RangePaged,
 	}
 	if err := parseWeights(s, fields); err != nil {
 		return workload.Mix{}, fmt.Errorf("-mix: %w", err)
@@ -312,5 +471,6 @@ func mixString(m workload.Mix) string {
 	add("multi-range", m.MultiRange)
 	add("top-k", m.TopK)
 	add("flood", m.Flood)
+	add("range-paged", m.RangePaged)
 	return strings.Join(parts, ",")
 }

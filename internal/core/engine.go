@@ -20,10 +20,12 @@
 package core
 
 import (
+	"cmp"
 	"context"
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 	"sync"
 
@@ -77,6 +79,20 @@ type QueryConfig struct {
 	// destination peer delivers it — before the final sorted result is
 	// assembled. Under Async mode it may be called concurrently.
 	OnMatch func(Match)
+	// Limit, when positive, paginates the result: each destination peer
+	// stops scanning once it has collected Limit matches (extending through
+	// a run of equal ObjectIDs so cursors never split an ID), and the final
+	// sorted result is cut the same way. RangeResult.Next then carries the
+	// cursor for the following page. Range and flood queries only.
+	Limit int
+	// After restricts matches to ObjectIDs strictly greater than it — the
+	// cursor of keyset pagination, normally the previous page's Next.
+	After kautz.Str
+	// RunsOnly leaves RangeResult.Matches nil and delivers the result
+	// solely through RangeResult.Runs, skipping the flatten copy — for
+	// callers that stream the runs into their own representation (the
+	// armada layer converts runs straight into its public result type).
+	RunsOnly bool
 }
 
 // QueryOption adjusts one query's configuration.
@@ -90,6 +106,18 @@ func WithTrace(f TraceFunc) QueryOption { return func(c *QueryConfig) { c.Trace 
 
 // WithOnMatch installs a streaming match observer for this query.
 func WithOnMatch(f func(Match)) QueryOption { return func(c *QueryConfig) { c.OnMatch = f } }
+
+// WithLimit paginates the query's result set at n matches per page (at
+// ObjectID granularity: a page grows past n only to keep objects sharing
+// its last ObjectID together).
+func WithLimit(n int) QueryOption { return func(c *QueryConfig) { c.Limit = n } }
+
+// WithAfter resumes a paginated query strictly after the given ObjectID.
+func WithAfter(id kautz.Str) QueryOption { return func(c *QueryConfig) { c.After = id } }
+
+// WithRunsOnly skips flattening the result into Matches; the caller reads
+// RangeResult.Runs instead.
+func WithRunsOnly() QueryOption { return func(c *QueryConfig) { c.RunsOnly = true } }
 
 func buildQueryConfig(opts []QueryOption) QueryConfig {
 	var cfg QueryConfig
@@ -151,7 +179,10 @@ func (s Stats) IncreRatio(networkSize int) float64 {
 	return (float64(s.Messages) - log2(float64(networkSize))) / float64(s.DestPeers-1)
 }
 
-// Match is one object satisfying a query.
+// Match is one object satisfying a query. Values aliases the stored
+// object's value slice to keep the delivery path allocation-free; treat it
+// as read-only (the armada layer copies values before handing results to
+// callers).
 type Match struct {
 	ObjectID kautz.Str
 	Name     string
@@ -162,10 +193,20 @@ type Match struct {
 // RangeResult is the outcome of a range query.
 type RangeResult struct {
 	// Matches lists the objects whose attribute values satisfy the query,
-	// in ascending (ObjectID, Name) order.
+	// in ascending (ObjectID, Name) order. Nil when the query ran with
+	// WithRunsOnly; read Runs instead.
 	Matches []Match
+	// Runs is the same result as one sorted run per delivery: each run
+	// ascends (ObjectID, Name) and runs are ordered by head ObjectID with
+	// pairwise disjoint ID ranges, so their concatenation equals Matches.
+	Runs [][]Match
 	// Destinations lists the distinct destination peers, ascending.
 	Destinations []kautz.Str
+	// Next is the pagination cursor: when a Limit truncated the result,
+	// Next holds the highest ObjectID in Matches; executing the same query
+	// with After set to it yields the following page. Empty when Matches is
+	// the complete (remaining) result set.
+	Next kautz.Str
 	// Stats carries the query's cost metrics.
 	Stats Stats
 }
@@ -178,12 +219,20 @@ type queryMsg struct {
 
 // queryState accumulates results across a query's messages; handlers may
 // run concurrently in Async mode.
+//
+// Matches accumulate as one sorted run per delivery. Every peer owns a
+// prefix region disjoint from every other peer's, and a peer's deliveries
+// cover disjoint subregions, so runs never interleave: the final ordering
+// is a sort of whole runs by head ObjectID plus concatenation — O(total)
+// instead of O(total·log total) for the big hot-region result sets.
 type queryState struct {
-	mu      sync.Mutex
-	box     *naming.Box
-	cfg     QueryConfig
-	matches []Match
-	dests   []kautz.Str
+	mu        sync.Mutex
+	box       *naming.Box
+	cfg       QueryConfig
+	runs      [][]Match // each ascending (ObjectID, Name); pairwise disjoint ID ranges
+	nmatches  int
+	dests     []kautz.Str
+	truncated bool // some peer (or the final cut) dropped matches to a Limit
 }
 
 // RangeQuery executes a range query issued by the given peer: PIRA when the
@@ -202,7 +251,32 @@ func (e *Engine) RangeQuery(ctx context.Context, issuer kautz.Str, lo, hi []floa
 	if err != nil {
 		return nil, fmt.Errorf("core: range query region: %w", err)
 	}
-	return e.descend(ctx, issuer, region, &box, buildQueryConfig(opts))
+	cfg := buildQueryConfig(opts)
+	region, ok := clipRegionAfter(region, cfg.After)
+	if !ok {
+		return &RangeResult{}, nil
+	}
+	return e.descend(ctx, issuer, region, &box, cfg)
+}
+
+// clipRegionAfter shrinks a paginated query's region to ⟨succ(after),
+// High⟩, reporting false when nothing remains. This is what makes keyset
+// pagination cheap end to end: a later page's descent prunes every FRT
+// branch at or below the cursor, so it only visits the destination peers
+// that still hold unread matches instead of re-walking the whole region.
+func clipRegionAfter(r kautz.Region, after kautz.Str) (kautz.Region, bool) {
+	if after == "" || after < r.Low {
+		return r, true
+	}
+	if after >= r.High {
+		return kautz.Region{}, false
+	}
+	next, ok := kautz.Succ(after)
+	if !ok {
+		return kautz.Region{}, false
+	}
+	r.Low = next
+	return r, true
 }
 
 // LookupResult is the outcome of an exact-match lookup.
@@ -336,32 +410,60 @@ func (e *Engine) prefixIntersectsBox(prefix kautz.Str, box naming.Box) bool {
 }
 
 // deliver records the peer as a destination and collects its matching
-// objects, notifying the query's OnMatch observer outside the state lock.
+// objects with one ordered scan of the peer's index — O(log store + k) for
+// k results, or O(log store + Limit) when the query paginates — notifying
+// the query's OnMatch observer outside the state lock.
+//
+// With a Limit, the peer collects only its first Limit matches after the
+// cursor (plus any run of equal ObjectIDs straddling the cut). The final
+// global cut in result keeps pagination exact: a match dropped here is
+// preceded by Limit collected matches with smaller ObjectIDs on this peer
+// alone, so it can never belong to the current page.
 func (state *queryState) deliver(peer *fissione.Peer, region kautz.Region) {
-	stored := peer.ObjectsInRegion(region)
-	var delivered []Match
-	state.mu.Lock()
-	state.dests = append(state.dests, peer.ID())
-	for _, so := range stored {
+	var (
+		collected []Match
+		truncated bool
+	)
+	peer.ScanRegionHinted(region, state.cfg.After, func(n int) {
+		if state.cfg.Limit > 0 && n > state.cfg.Limit {
+			n = state.cfg.Limit + 1 // one slot of tie headroom; appends may still grow it
+		}
+		if n > 0 {
+			collected = make([]Match, 0, n)
+		}
+	}, func(so fissione.StoredObject) bool {
 		if state.box != nil {
 			if len(so.Object.Values) != len(state.box.Lo) || !state.box.Contains(so.Object.Values) {
-				continue
+				return true
 			}
 		}
-		m := Match{
+		if state.cfg.Limit > 0 && len(collected) >= state.cfg.Limit &&
+			so.ObjectID != collected[len(collected)-1].ObjectID {
+			truncated = true
+			return false
+		}
+		collected = append(collected, Match{
 			ObjectID: so.ObjectID,
 			Name:     so.Object.Name,
-			Values:   append([]float64(nil), so.Object.Values...),
+			Values:   so.Object.Values, // aliased; see Match
 			Peer:     peer.ID(),
-		}
-		state.matches = append(state.matches, m)
-		if state.cfg.OnMatch != nil {
-			delivered = append(delivered, m)
-		}
+		})
+		return true
+	})
+	state.mu.Lock()
+	state.dests = append(state.dests, peer.ID())
+	if len(collected) > 0 {
+		state.runs = append(state.runs, collected)
+		state.nmatches += len(collected)
+	}
+	if truncated {
+		state.truncated = true
 	}
 	state.mu.Unlock()
-	for _, m := range delivered {
-		state.cfg.OnMatch(m)
+	if state.cfg.OnMatch != nil {
+		for _, m := range collected {
+			state.cfg.OnMatch(m)
+		}
 	}
 }
 
@@ -379,17 +481,61 @@ func (state *queryState) result(metrics simnet.Metrics, subregions int) *RangeRe
 		}
 	}
 
-	matches := append([]Match(nil), state.matches...)
-	sort.Slice(matches, func(i, j int) bool {
-		if matches[i].ObjectID != matches[j].ObjectID {
-			return matches[i].ObjectID < matches[j].ObjectID
-		}
-		return matches[i].Name < matches[j].Name
+	// Runs are internally sorted and pairwise disjoint in ObjectID range
+	// (distinct peers own distinct prefix regions; one peer's deliveries
+	// cover disjoint subregions), so ordering whole runs by head ObjectID
+	// and concatenating yields the globally sorted result without
+	// comparing individual matches.
+	slices.SortFunc(state.runs, func(a, b []Match) int {
+		return cmp.Compare(a[0].ObjectID, b[0].ObjectID)
 	})
+
+	// The global page cut, at run granularity. Ties cannot cross a run
+	// boundary (every ObjectID lives on exactly one peer, and one peer's
+	// matches for it sit contiguously in one run), so extending the cut
+	// through a run of equal ObjectIDs keeps the Next cursor
+	// (strictly-greater) from ever skipping or repeating an object.
+	runs, total := state.runs, state.nmatches
+	if limit := state.cfg.Limit; limit > 0 && total > limit {
+		kept := 0
+		for i, run := range runs {
+			if kept+len(run) < limit {
+				kept += len(run)
+				continue
+			}
+			cut := limit - kept
+			for cut < len(run) && run[cut].ObjectID == run[cut-1].ObjectID {
+				cut++
+			}
+			if cut < len(run) || i+1 < len(runs) {
+				state.truncated = true
+			}
+			runs = runs[:i+1]
+			runs[i] = run[:cut]
+			kept += cut
+			break
+		}
+		total = kept
+	}
+	var next kautz.Str
+	if state.truncated && len(runs) > 0 {
+		last := runs[len(runs)-1]
+		next = last[len(last)-1].ObjectID
+	}
+
+	var matches []Match
+	if !state.cfg.RunsOnly && total > 0 {
+		matches = make([]Match, 0, total)
+		for _, run := range runs {
+			matches = append(matches, run...)
+		}
+	}
 
 	return &RangeResult{
 		Matches:      matches,
+		Runs:         runs,
 		Destinations: unique,
+		Next:         next,
 		Stats: Stats{
 			Delay:      metrics.Delay,
 			Messages:   metrics.Messages,

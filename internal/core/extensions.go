@@ -41,6 +41,10 @@ func (e *Engine) TopK(ctx context.Context, issuer kautz.Str, lo, hi []float64, k
 	if k < 1 {
 		return nil, fmt.Errorf("core: top-k needs k ≥ 1, got %d", k)
 	}
+	cfg := buildQueryConfig(opts)
+	if cfg.Limit > 0 || cfg.After != "" {
+		return nil, fmt.Errorf("core: top-k does not paginate; its result cap is k")
+	}
 	box, err := e.tree.NewBox(lo, hi)
 	if err != nil {
 		return nil, fmt.Errorf("core: top-k bounds: %w", err)
@@ -53,7 +57,7 @@ func (e *Engine) TopK(ctx context.Context, issuer kautz.Str, lo, hi []float64, k
 		return nil, fmt.Errorf("%w: %q", ErrNoSuchPeer, issuer)
 	}
 
-	state := &queryState{box: &box, cfg: buildQueryConfig(opts)}
+	state := &queryState{box: &box, cfg: cfg}
 	// Process subregions from the high end: once a subregion yields k
 	// matches, lower subregions cannot contribute to the top k (the naming
 	// is order-preserving, so higher regions hold higher values).
@@ -73,7 +77,7 @@ func (e *Engine) TopK(ctx context.Context, issuer kautz.Str, lo, hi []float64, k
 		metrics = simnet.MergeMetrics(metrics, m)
 		ran++
 		state.mu.Lock()
-		enough := len(state.matches) >= k
+		enough := state.nmatches >= k
 		state.mu.Unlock()
 		if enough {
 			break
@@ -115,6 +119,10 @@ func (e *Engine) FloodQuery(ctx context.Context, issuer kautz.Str, lo, hi []floa
 		return nil, fmt.Errorf("%w: %q", ErrNoSuchPeer, issuer)
 	}
 	cfg := buildQueryConfig(opts)
+	region, ok := clipRegionAfter(region, cfg.After)
+	if !ok {
+		return &RangeResult{}, nil
+	}
 	state := &queryState{box: &box, cfg: cfg}
 	parts := region.SplitByFirstSymbol()
 	seeds := make([]simnet.Message, 0, len(parts))

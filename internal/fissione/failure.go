@@ -25,8 +25,7 @@ func (n *Network) FailAbrupt(id kautz.Str) error {
 	}
 	// The crash destroys the peer's data; the takeover protocol then
 	// reassigns its (now empty) region exactly as a departure would.
-	lost := p.ObjectCount()
-	p.store = make(map[kautz.Str][]Object)
+	lost := p.clearStore()
 	if err := n.Leave(id); err != nil {
 		return fmt.Errorf("fissione: stabilization after crash of %q (%d objects lost): %w", id, lost, err)
 	}

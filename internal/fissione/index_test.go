@@ -1,0 +1,221 @@
+package fissione
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"armada/internal/kautz"
+)
+
+// refStore is the naive reference model of a peer store: the map the
+// pre-index implementation used, queried by filter-and-sort. The ordered
+// index must agree with it byte for byte on every operation.
+type refStore map[kautz.Str][]Object
+
+func (ref refStore) add(id kautz.Str, obj Object) { ref[id] = append(ref[id], obj) }
+
+func (ref refStore) remove(id kautz.Str, obj Object) bool {
+	objs := ref[id]
+	for i, o := range objs {
+		if o.Name != obj.Name || !reflect.DeepEqual(o.Values, obj.Values) {
+			continue
+		}
+		objs = append(objs[:i], objs[i+1:]...)
+		if len(objs) == 0 {
+			delete(ref, id)
+		} else {
+			ref[id] = objs
+		}
+		return true
+	}
+	return false
+}
+
+func (ref refStore) count() int {
+	n := 0
+	for _, objs := range ref {
+		n += len(objs)
+	}
+	return n
+}
+
+// inRegion is the old O(store) scan-and-sort, kept as the oracle.
+func (ref refStore) inRegion(r kautz.Region) []StoredObject {
+	var out []StoredObject
+	for id, objs := range ref {
+		if !r.Contains(id) {
+			continue
+		}
+		for _, o := range objs {
+			out = append(out, StoredObject{ObjectID: id, Object: o})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ObjectID != out[j].ObjectID {
+			return out[i].ObjectID < out[j].ObjectID
+		}
+		return out[i].Object.Name < out[j].Object.Name
+	})
+	return out
+}
+
+func (ref refStore) all(k int) []StoredObject {
+	return ref.inRegion(kautz.Region{Low: kautz.MinExtend("", k), High: kautz.MaxExtend("", k)})
+}
+
+// refObject derives an object deterministically from a small name space so
+// that equal (ObjectID, Name) pairs always carry equal Values — ties are
+// then identical elements and any tie order is byte-identical.
+func refObject(rng *rand.Rand) Object {
+	n := rng.Intn(40)
+	return Object{Name: fmt.Sprintf("n%02d", n), Values: []float64{float64(n), float64(n % 7)}}
+}
+
+// TestOrderedIndexMatchesReference drives a random publish / unpublish /
+// region-query / scan / count sequence against both the ordered index and
+// the naive reference, requiring identical results throughout.
+func TestOrderedIndexMatchesReference(t *testing.T) {
+	const k = 12
+	rng := rand.New(rand.NewSource(4242))
+	p := newPeer("0")
+	ref := refStore{}
+	var pool []kautz.Str // previously used ObjectIDs, for duplicates and removals
+
+	randomID := func() kautz.Str {
+		if len(pool) > 0 && rng.Intn(3) == 0 {
+			return pool[rng.Intn(len(pool))]
+		}
+		id := kautz.Random(rng, k)
+		pool = append(pool, id)
+		return id
+	}
+	randomRegion := func() kautz.Region {
+		a, b := kautz.Random(rng, k), kautz.Random(rng, k)
+		if a > b {
+			a, b = b, a
+		}
+		if rng.Intn(4) == 0 { // sometimes a whole-prefix region
+			pre := a[:1+rng.Intn(3)]
+			return kautz.Region{Low: kautz.MinExtend(pre, k), High: kautz.MaxExtend(pre, k)}
+		}
+		return kautz.Region{Low: a, High: b}
+	}
+
+	for step := 0; step < 5000; step++ {
+		switch op := rng.Intn(10); {
+		case op < 4: // publish
+			id, obj := randomID(), refObject(rng)
+			p.addObject(id, obj)
+			ref.add(id, obj)
+		case op < 6: // unpublish, often of something absent
+			id, obj := randomID(), refObject(rng)
+			if got, want := p.removeObject(id, obj), ref.remove(id, obj); got != want {
+				t.Fatalf("step %d: removeObject(%s, %v) = %v, reference %v", step, id, obj, got, want)
+			}
+		case op < 8: // region query
+			r := randomRegion()
+			got, want := p.ObjectsInRegion(r), ref.inRegion(r)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("step %d: ObjectsInRegion(%v) diverged:\n got %v\nwant %v", step, r, got, want)
+			}
+			hint := -1
+			p.ScanRegionHinted(r, "", func(n int) { hint = n }, func(StoredObject) bool { return true })
+			if hint != len(want) {
+				t.Fatalf("step %d: ScanRegionHinted(%v) hinted %d, want %d", step, r, hint, len(want))
+			}
+		case op < 9: // paged scan: pages concatenate to the full region scan
+			r := randomRegion()
+			want := ref.inRegion(r)
+			limit := 1 + rng.Intn(5)
+			var (
+				got   []StoredObject
+				after kautz.Str
+			)
+			for pages := 0; ; pages++ {
+				if pages > len(want)+2 {
+					t.Fatalf("step %d: paged scan of %v does not terminate", step, r)
+				}
+				var page []StoredObject
+				p.ScanRegion(r, after, func(so StoredObject) bool {
+					if len(page) >= limit && so.ObjectID != page[len(page)-1].ObjectID {
+						return false
+					}
+					page = append(page, so)
+					return true
+				})
+				if len(page) == 0 {
+					break
+				}
+				got = append(got, page...)
+				after = page[len(page)-1].ObjectID
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("step %d: paged scan of %v diverged:\n got %v\nwant %v", step, r, got, want)
+			}
+		default: // full-store invariants
+			if got, want := p.ObjectCount(), ref.count(); got != want {
+				t.Fatalf("step %d: ObjectCount = %d, want %d", step, got, want)
+			}
+			if got, want := p.AllObjects(), ref.all(k); !reflect.DeepEqual(got, want) {
+				t.Fatalf("step %d: AllObjects diverged:\n got %v\nwant %v", step, got, want)
+			}
+		}
+	}
+}
+
+// TestOrderedIndexMoves exercises the contiguous-cut move paths (splits,
+// merges, crashes) against the reference model.
+func TestOrderedIndexMoves(t *testing.T) {
+	const k = 10
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 60; trial++ {
+		src, dst := newPeer("0"), newPeer("1")
+		refSrc, refDst := refStore{}, refStore{}
+		for i := 0; i < 120; i++ {
+			id, obj := kautz.Random(rng, k), refObject(rng)
+			src.addObject(id, obj)
+			refSrc.add(id, obj)
+			if rng.Intn(3) == 0 { // dst starts non-empty to exercise merging
+				id2, obj2 := kautz.Random(rng, k), refObject(rng)
+				dst.addObject(id2, obj2)
+				refDst.add(id2, obj2)
+			}
+		}
+		prefix := kautz.Random(rng, k)[:1+rng.Intn(3)]
+		src.moveObjectsWithPrefix(prefix, dst)
+		for id, objs := range refSrc {
+			if id.HasPrefix(prefix) {
+				refDst[id] = append(refDst[id], objs...)
+				delete(refSrc, id)
+			}
+		}
+		if got, want := src.AllObjects(), refSrc.all(k); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: source after move of %q diverged:\n got %v\nwant %v", trial, prefix, got, want)
+		}
+		if got, want := dst.AllObjects(), refDst.all(k); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: destination after move of %q diverged:\n got %v\nwant %v", trial, prefix, got, want)
+		}
+
+		src.moveAllObjects(dst)
+		for id, objs := range refSrc {
+			refDst[id] = append(refDst[id], objs...)
+			delete(refSrc, id)
+		}
+		if src.ObjectCount() != 0 {
+			t.Fatalf("trial %d: source not empty after moveAllObjects", trial)
+		}
+		if got, want := dst.AllObjects(), refDst.all(k); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: destination after moveAllObjects diverged", trial)
+		}
+
+		if lost := dst.clearStore(); lost != refDst.count() {
+			t.Fatalf("trial %d: clearStore dropped %d, want %d", trial, lost, refDst.count())
+		}
+		if dst.ObjectCount() != 0 || len(dst.AllObjects()) != 0 {
+			t.Fatalf("trial %d: store not empty after clearStore", trial)
+		}
+	}
+}

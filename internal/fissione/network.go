@@ -19,8 +19,11 @@ var (
 )
 
 // Network is a FISSIONE overlay of peers partitioning KautzSpace(2,k) by
-// identifier prefix. It is not safe for concurrent mutation; queries that
-// only read the topology may run concurrently (see the simnet package).
+// identifier prefix. Topology mutation (Join, Leave, FailAbrupt) is not
+// safe for concurrent use and requires external exclusion against every
+// other operation. While the topology is stable, object operations
+// (PublishAt, UnpublishAt) and reads may all run concurrently: each peer's
+// store is guarded by its own lock (see Peer).
 type Network struct {
 	k     int
 	peers map[kautz.Str]*Peer

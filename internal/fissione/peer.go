@@ -20,12 +20,25 @@
 // own routing table (out- and in-neighbor lists) and query engines consult
 // only those tables; the global maps exist for construction, bookkeeping and
 // audits.
+//
+// # Concurrency
+//
+// Topology mutation (Join, Leave, FailAbrupt, the Build functions) requires
+// external exclusion: callers must not mutate the topology while any other
+// operation runs. Object storage, however, is safe for concurrent use while
+// the topology is stable: each Peer guards its store with its own lock, so
+// any number of PublishAt/UnpublishAt calls and store reads (ObjectsInRegion,
+// ScanRegion, AllObjects, ObjectCount) may run concurrently, on the same
+// peer or different ones. The armada package maps this onto a two-tier
+// scheme: a topology RWMutex held exclusively by Join/Leave/Fail and shared
+// by everything else, plus the per-peer store locks.
 package fissione
 
 import (
 	"fmt"
 	"slices"
 	"sort"
+	"sync"
 
 	"armada/internal/kautz"
 )
@@ -41,15 +54,26 @@ type Object struct {
 // Peer is one FISSIONE node. Its routing table (out- and in-neighbors) is
 // maintained by the Network on joins and departures; query engines must
 // route using only these tables.
+//
+// The store is an ordered index: a slice of StoredObject sorted by
+// (ObjectID, Name). Ordering makes every region scan a binary search plus a
+// contiguous walk — O(log n + k) for k results — and makes prefix moves
+// (splits, merges) contiguous slice operations. ObjectIDs all have the
+// network's fixed length k, so plain lexicographic comparison orders them
+// and every Kautz region and identifier prefix denotes one contiguous run.
 type Peer struct {
-	id    kautz.Str
-	out   []kautz.Str
-	in    []kautz.Str
-	store map[kautz.Str][]Object
+	id  kautz.Str
+	out []kautz.Str
+	in  []kautz.Str
+
+	// mu guards store. Routing-table fields above are only written during
+	// topology mutation, which excludes all other operations externally.
+	mu    sync.RWMutex
+	store []StoredObject // ascending (ObjectID, Name)
 }
 
 func newPeer(id kautz.Str) *Peer {
-	return &Peer{id: id, store: make(map[kautz.Str][]Object)}
+	return &Peer{id: id}
 }
 
 // ID returns the peer's identifier.
@@ -72,96 +96,197 @@ func (p *Peer) InCopy() []kautz.Str { return append([]kautz.Str(nil), p.in...) }
 // Degree returns the peer's out-degree.
 func (p *Peer) Degree() int { return len(p.out) }
 
+// storedLess orders the index by (ObjectID, Name).
+func storedLess(a, b StoredObject) bool {
+	if a.ObjectID != b.ObjectID {
+		return a.ObjectID < b.ObjectID
+	}
+	return a.Object.Name < b.Object.Name
+}
+
+// lowerBound returns the first index i with (store[i].ObjectID,
+// store[i].Name) >= (id, name). The caller holds p.mu.
+func (p *Peer) lowerBound(id kautz.Str, name string) int {
+	return sort.Search(len(p.store), func(i int) bool {
+		so := p.store[i]
+		if so.ObjectID != id {
+			return so.ObjectID > id
+		}
+		return so.Object.Name >= name
+	})
+}
+
 // addObject stores obj under objectID on this peer.
 func (p *Peer) addObject(objectID kautz.Str, obj Object) {
-	p.store[objectID] = append(p.store[objectID], obj)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	i := p.lowerBound(objectID, obj.Name)
+	p.store = slices.Insert(p.store, i, StoredObject{ObjectID: objectID, Object: obj})
 }
 
 // removeObject deletes one stored occurrence of the object under objectID
 // whose name and values match, reporting whether one was found. Values
 // match element-wise (duplicate publications remove one at a time).
 func (p *Peer) removeObject(objectID kautz.Str, obj Object) bool {
-	objs := p.store[objectID]
-	for i, o := range objs {
-		if o.Name != obj.Name || !slices.Equal(o.Values, obj.Values) {
-			continue
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := p.lowerBound(objectID, obj.Name); i < len(p.store); i++ {
+		so := p.store[i]
+		if so.ObjectID != objectID || so.Object.Name != obj.Name {
+			return false
 		}
-		objs = append(objs[:i], objs[i+1:]...)
-		if len(objs) == 0 {
-			delete(p.store, objectID)
-		} else {
-			p.store[objectID] = objs
+		if slices.Equal(so.Object.Values, obj.Values) {
+			p.store = slices.Delete(p.store, i, i+1)
+			return true
 		}
-		return true
 	}
 	return false
 }
 
-// ObjectCount returns the number of objects stored on the peer.
+// ObjectCount returns the number of objects stored on the peer in O(1).
 func (p *Peer) ObjectCount() int {
-	n := 0
-	for _, objs := range p.store {
-		n += len(objs)
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.store)
+}
+
+// scanBounds returns the index interval [lo, hi) a scan over the region —
+// restricted to ObjectIDs strictly greater than after when after is
+// non-empty — visits, in O(log n). The caller holds p.mu.
+func (p *Peer) scanBounds(r kautz.Region, after kautz.Str) (lo, hi int) {
+	low := r.Low
+	lo = sort.Search(len(p.store), func(i int) bool { return p.store[i].ObjectID >= low })
+	if after != "" && after >= low {
+		lo = sort.Search(len(p.store), func(i int) bool { return p.store[i].ObjectID > after })
 	}
-	return n
+	hi = lo + sort.Search(len(p.store)-lo, func(i int) bool { return p.store[lo+i].ObjectID > r.High })
+	return lo, hi
+}
+
+// ScanRegion calls fn for each stored object whose ObjectID lies in the
+// Kautz region — restricted to ObjectIDs strictly greater than after when
+// after is non-empty — in ascending (ObjectID, Name) order, stopping early
+// when fn returns false. The scan costs O(log n) to position plus O(1) per
+// visited object, and holds the peer's store lock throughout: fn must not
+// call back into the peer.
+func (p *Peer) ScanRegion(r kautz.Region, after kautz.Str, fn func(StoredObject) bool) {
+	p.ScanRegionHinted(r, after, nil, fn)
+}
+
+// ScanRegionHinted is ScanRegion with the visit count precomputed in the
+// same lock acquisition: when hint is non-nil it receives the number of
+// objects the scan will visit (an exact allocation size) before the first
+// fn call. Like fn, hint runs under the store lock and must not call back
+// into the peer.
+func (p *Peer) ScanRegionHinted(r kautz.Region, after kautz.Str, hint func(int), fn func(StoredObject) bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	lo, hi := p.scanBounds(r, after)
+	if hint != nil {
+		hint(hi - lo)
+	}
+	for i := lo; i < hi; i++ {
+		if !fn(p.store[i]) {
+			return
+		}
+	}
 }
 
 // ObjectsInRegion returns the objects whose ObjectIDs lie in the Kautz
-// region, together with their IDs, in ascending ObjectID order.
+// region, together with their IDs, in ascending (ObjectID, Name) order.
 func (p *Peer) ObjectsInRegion(r kautz.Region) []StoredObject {
 	var out []StoredObject
-	for id, objs := range p.store {
-		if !r.Contains(id) {
-			continue
+	p.ScanRegionHinted(r, "", func(n int) {
+		if n > 0 {
+			out = make([]StoredObject, 0, n)
 		}
-		for _, o := range objs {
-			out = append(out, StoredObject{ObjectID: id, Object: o})
-		}
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].ObjectID != out[j].ObjectID {
-			return out[i].ObjectID < out[j].ObjectID
-		}
-		return out[i].Object.Name < out[j].Object.Name
+	}, func(so StoredObject) bool {
+		out = append(out, so)
+		return true
 	})
 	return out
 }
 
-// AllObjects returns every object stored on the peer in ascending ObjectID
-// order.
+// AllObjects returns every object stored on the peer in ascending
+// (ObjectID, Name) order.
 func (p *Peer) AllObjects() []StoredObject {
-	var out []StoredObject
-	for id, objs := range p.store {
-		for _, o := range objs {
-			out = append(out, StoredObject{ObjectID: id, Object: o})
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return append([]StoredObject(nil), p.store...)
+}
+
+// prefixRange returns the half-open index interval [lo, hi) of stored
+// objects whose ObjectID starts with prefix. The caller holds p.mu. In the
+// fixed-length lexicographic order every prefix owns one contiguous run.
+func (p *Peer) prefixRange(prefix kautz.Str) (lo, hi int) {
+	lo = sort.Search(len(p.store), func(i int) bool { return p.store[i].ObjectID >= prefix })
+	hi = lo + sort.Search(len(p.store)-lo, func(i int) bool {
+		return !p.store[lo+i].ObjectID.HasPrefix(prefix)
+	})
+	return lo, hi
+}
+
+// mergeStored merges two (ObjectID, Name)-sorted slices into one.
+func mergeStored(a, b []StoredObject) []StoredObject {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]StoredObject, 0, len(a)+len(b))
+	for len(a) > 0 && len(b) > 0 {
+		if storedLess(b[0], a[0]) {
+			out = append(out, b[0])
+			b = b[1:]
+		} else {
+			out = append(out, a[0])
+			a = a[1:]
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].ObjectID != out[j].ObjectID {
-			return out[i].ObjectID < out[j].ObjectID
-		}
-		return out[i].Object.Name < out[j].Object.Name
-	})
-	return out
+	return append(append(out, a...), b...)
+}
+
+// lockPair acquires both peers' store locks in identifier order, so
+// concurrent movers could never deadlock. Movers in fact only run under the
+// topology write lock; the ordering is defense in depth.
+func lockPair(a, b *Peer) (unlock func()) {
+	if b.id < a.id {
+		a, b = b, a
+	}
+	a.mu.Lock()
+	b.mu.Lock()
+	return func() { b.mu.Unlock(); a.mu.Unlock() }
 }
 
 // moveObjectsWithPrefix moves every stored object whose ObjectID has the
-// given prefix from p to dst.
+// given prefix from p to dst — one contiguous slice cut and one merge.
 func (p *Peer) moveObjectsWithPrefix(prefix kautz.Str, dst *Peer) {
-	for id, objs := range p.store {
-		if id.HasPrefix(prefix) {
-			dst.store[id] = append(dst.store[id], objs...)
-			delete(p.store, id)
-		}
+	defer lockPair(p, dst)()
+	lo, hi := p.prefixRange(prefix)
+	if lo == hi {
+		return
 	}
+	moved := append([]StoredObject(nil), p.store[lo:hi]...)
+	p.store = slices.Delete(p.store, lo, hi)
+	dst.store = mergeStored(dst.store, moved)
 }
 
 // moveAllObjects moves the peer's whole store to dst.
 func (p *Peer) moveAllObjects(dst *Peer) {
-	for id, objs := range p.store {
-		dst.store[id] = append(dst.store[id], objs...)
-		delete(p.store, id)
-	}
+	defer lockPair(p, dst)()
+	dst.store = mergeStored(dst.store, p.store)
+	p.store = nil
+}
+
+// clearStore discards every stored object (a crash-stop losing its data),
+// returning how many were dropped.
+func (p *Peer) clearStore() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := len(p.store)
+	p.store = nil
+	return n
 }
 
 // StoredObject pairs an object with the ObjectID it was published under.

@@ -143,6 +143,14 @@ func RunAsync(ctx context.Context, peerIDs []string, seeds []Message, handle Han
 				if !ok {
 					return
 				}
+				// Workers observe cancellation themselves: relying on the
+				// watcher goroutine alone would leave promptness to the
+				// scheduler (on one CPU a busy chain of workers can drain
+				// an entire run before the watcher ever gets on).
+				if ctx.Err() != nil && !completed.Load() {
+					closeAll()
+					return
+				}
 				if d := int64(m.Depth); d > delay.Load() {
 					// Lossy max is fine: we re-check under CAS.
 					for {

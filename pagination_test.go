@@ -1,0 +1,222 @@
+package armada
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// pagedNetwork builds a network with a deterministic object population
+// dense enough that wide queries span many pages.
+func pagedNetwork(t *testing.T, objects int) *Network {
+	t.Helper()
+	net, err := NewNetwork(300, WithSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	pubs := make([]Publication, objects)
+	for i := range pubs {
+		pubs[i] = Publication{Name: fmt.Sprintf("obj-%05d", i), Values: []float64{rng.Float64() * 1000}}
+	}
+	if err := net.PublishBatch(pubs); err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// TestPaginationWalkEqualsFull pages through a large range and requires the
+// concatenated pages to equal the unpaginated result exactly — same
+// objects, same (ObjectID, Name) order, nothing skipped or repeated.
+func TestPaginationWalkEqualsFull(t *testing.T) {
+	net := pagedNetwork(t, 2500)
+	ranges := []Range{{Low: 100, High: 900}}
+	full, err := net.Do(context.Background(), NewRange(ranges))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.NextOffsetID != "" {
+		t.Fatalf("unpaginated query returned a cursor %q", full.NextOffsetID)
+	}
+	if len(full.Objects) < 1000 {
+		t.Fatalf("population too sparse for the test: %d matches", len(full.Objects))
+	}
+
+	for _, limit := range []int{1, 7, 128, 1024, len(full.Objects) + 1} {
+		var walked []Object
+		offset := ""
+		pages := 0
+		for {
+			opts := []QueryOption{WithLimit(limit)}
+			if offset != "" {
+				opts = append(opts, WithOffsetID(offset))
+			}
+			page, err := net.Do(context.Background(), NewRange(ranges, opts...))
+			if err != nil {
+				t.Fatalf("limit %d page %d: %v", limit, pages, err)
+			}
+			if len(page.Objects) == 0 && page.NextOffsetID != "" {
+				t.Fatalf("limit %d: empty page with a continuation cursor", limit)
+			}
+			walked = append(walked, page.Objects...)
+			pages++
+			if pages > len(full.Objects)+2 {
+				t.Fatalf("limit %d: walk does not terminate", limit)
+			}
+			if page.NextOffsetID == "" {
+				break
+			}
+			offset = page.NextOffsetID
+		}
+		if !reflect.DeepEqual(walked, full.Objects) {
+			t.Fatalf("limit %d: paged walk (%d objects over %d pages) diverged from the full result (%d objects)",
+				limit, len(walked), pages, len(full.Objects))
+		}
+		if wantPages := (len(full.Objects) + limit - 1) / limit; pages > wantPages+1 {
+			t.Errorf("limit %d: %d pages, want about %d", limit, pages, wantPages)
+		}
+	}
+}
+
+// TestPaginationFloodAgrees runs the same paged walk through the flood
+// ablation, which must return identical pages at its higher message cost.
+func TestPaginationFloodAgrees(t *testing.T) {
+	net := pagedNetwork(t, 800)
+	ranges := []Range{{Low: 200, High: 700}}
+	full, err := net.Do(context.Background(), NewRange(ranges))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var walked []Object
+	offset := ""
+	for {
+		opts := []QueryOption{WithFlood(), WithLimit(100)}
+		if offset != "" {
+			opts = append(opts, WithOffsetID(offset))
+		}
+		page, err := net.Do(context.Background(), NewRange(ranges, opts...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		walked = append(walked, page.Objects...)
+		if page.NextOffsetID == "" {
+			break
+		}
+		offset = page.NextOffsetID
+	}
+	if !reflect.DeepEqual(walked, full.Objects) {
+		t.Fatalf("flood walk found %d objects, range query %d", len(walked), len(full.Objects))
+	}
+}
+
+// TestPaginationTies publishes many objects under one ObjectID (identical
+// values) and checks that a page never splits the ID: the page overshoots
+// the limit instead, and the walk neither drops nor repeats anything.
+func TestPaginationTies(t *testing.T) {
+	net, err := NewNetwork(100, WithSeed(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if err := net.Publish(fmt.Sprintf("dup-%02d", i), 500.0); err != nil { // one shared ObjectID
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 60; i++ {
+		if err := net.Publish(fmt.Sprintf("spread-%02d", i), 400.0+float64(i)*3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ranges := []Range{{Low: 390, High: 600}}
+	full, err := net.Do(context.Background(), NewRange(ranges))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var walked []Object
+	offset := ""
+	overshot := false
+	for {
+		opts := []QueryOption{WithLimit(7)}
+		if offset != "" {
+			opts = append(opts, WithOffsetID(offset))
+		}
+		page, err := net.Do(context.Background(), NewRange(ranges, opts...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(page.Objects) > 7 {
+			overshot = true
+			for i := 7; i < len(page.Objects); i++ {
+				if page.Objects[i].ID != page.Objects[6].ID {
+					t.Fatalf("page overshot the limit with a fresh ObjectID %q", page.Objects[i].ID)
+				}
+			}
+		}
+		walked = append(walked, page.Objects...)
+		if page.NextOffsetID == "" {
+			break
+		}
+		offset = page.NextOffsetID
+	}
+	if !overshot {
+		t.Error("no page overshot its limit; the 40-way tie should have forced one")
+	}
+	if !reflect.DeepEqual(walked, full.Objects) {
+		t.Fatalf("tied walk diverged: %d objects vs %d", len(walked), len(full.Objects))
+	}
+}
+
+// TestPaginationOptionErrors covers the validation surface.
+func TestPaginationOptionErrors(t *testing.T) {
+	net := pagedNetwork(t, 50)
+	ctx := context.Background()
+	cases := []struct {
+		name string
+		q    Query
+	}{
+		{"limit on lookup", NewLookup("obj-00001", WithLimit(5))},
+		{"offset on lookup", NewLookup("obj-00001", WithOffsetID("0101010101"))},
+		{"limit on top-k", NewRange([]Range{{0, 1000}}, WithTopK(3), WithLimit(5))},
+		{"negative limit", NewRange([]Range{{0, 1000}}, WithLimit(-1))},
+		{"malformed offset", NewRange([]Range{{0, 1000}}, WithLimit(5), WithOffsetID("zz"))},
+	}
+	for _, c := range cases {
+		if _, err := net.Do(ctx, c.q); !errors.Is(err, ErrBadQuery) {
+			t.Errorf("%s: err = %v, want ErrBadQuery", c.name, err)
+		}
+	}
+}
+
+// TestStreamLimit checks the streaming cap: the stream ends after exactly
+// Limit objects when more exist.
+func TestStreamLimit(t *testing.T) {
+	net := pagedNetwork(t, 1200)
+	q := NewRange([]Range{{Low: 0, High: 1000}}, WithLimit(25))
+	n := 0
+	for _, err := range net.Stream(context.Background(), q) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+		if n > 25 {
+			break
+		}
+	}
+	if n != 25 {
+		t.Fatalf("stream yielded %d objects, want exactly the limit 25", n)
+	}
+	// Without a limit the same query streams far more.
+	n = 0
+	for _, err := range net.Stream(context.Background(), NewRange([]Range{{Low: 0, High: 1000}})) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n <= 25 {
+		t.Fatalf("unlimited stream yielded only %d objects", n)
+	}
+}

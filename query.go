@@ -69,6 +69,17 @@ type Query struct {
 	Issuer string
 	// K is the result limit for KindTopK.
 	K int
+	// Limit, when positive, paginates a range or flood query: the result
+	// carries at most Limit objects (extending through objects sharing the
+	// final ObjectID, so a page never splits an ID) and NextOffsetID holds
+	// the cursor for the following page. Destination peers then scan only
+	// O(log store + Limit) of their index instead of materializing the
+	// whole region.
+	Limit int
+	// OffsetID resumes a paginated query: only objects with ObjectID
+	// strictly greater than it match. Pass a previous Result's
+	// NextOffsetID.
+	OffsetID string
 	// Trace, when non-nil, observes every overlay message of the query.
 	// Queries on an async network may invoke it concurrently.
 	Trace func(Hop)
@@ -96,6 +107,15 @@ func WithTopK(k int) QueryOption {
 
 // WithFlood turns a range query into the unpruned flood ablation.
 func WithFlood() QueryOption { return func(q *Query) { q.Kind = KindFlood } }
+
+// WithLimit paginates a range or flood query at n objects per page. The
+// page may exceed n only to keep objects sharing its last ObjectID
+// together, so the NextOffsetID cursor never skips or repeats an object.
+func WithLimit(n int) QueryOption { return func(q *Query) { q.Limit = n } }
+
+// WithOffsetID resumes a paginated query strictly after the given
+// ObjectID — normally the previous page's Result.NextOffsetID.
+func WithOffsetID(id string) QueryOption { return func(q *Query) { q.OffsetID = id } }
 
 // NewLookup builds an exact-match lookup query for name.
 func NewLookup(name string, opts ...QueryOption) Query {

@@ -72,6 +72,11 @@ type Result struct {
 	Destinations []string
 	// Owner is the peer owning the looked-up ObjectID (lookups only).
 	Owner string
+	// NextOffsetID is the pagination cursor of a limited range or flood
+	// query: when non-empty, more matches exist beyond this page; rerun the
+	// same query with WithOffsetID(NextOffsetID) for the next one. Empty
+	// when Objects completes the result set.
+	NextOffsetID string
 	// Stats carries the query's cost metrics.
 	Stats Stats
 }
@@ -95,17 +100,54 @@ func statsOf(s core.Stats) Stats {
 	}
 }
 
+// objectOf converts one engine match, copying the values: core.Match
+// aliases the store's slices, and results handed to callers must never
+// share memory with live peer stores.
 func objectOf(m core.Match) Object {
-	return Object{Name: m.Name, Values: m.Values, ID: string(m.ObjectID), Peer: string(m.Peer)}
+	return Object{Name: m.Name, Values: copyValues(m.Values), ID: string(m.ObjectID), Peer: string(m.Peer)}
 }
 
-func resultOf(r *core.RangeResult) *Result {
-	out := &Result{Stats: statsOf(r.Stats)}
-	for _, m := range r.Matches {
-		out.Objects = append(out.Objects, objectOf(m))
+func copyValues(vs []float64) []float64 {
+	if len(vs) == 0 {
+		return nil
 	}
-	for _, d := range r.Destinations {
-		out.Destinations = append(out.Destinations, string(d))
+	return append([]float64(nil), vs...)
+}
+
+// resultOf converts an engine result wholesale, reading the per-delivery
+// runs directly (queries run with core.WithRunsOnly, so the engine never
+// flattens). The values of all matches are copied into one shared backing
+// array — one allocation instead of one per object. Together that leaves a
+// hot-region result copied exactly once between delivery and caller.
+func resultOf(r *core.RangeResult) *Result {
+	out := &Result{Stats: statsOf(r.Stats), NextOffsetID: string(r.Next)}
+	total, values := 0, 0
+	for _, run := range r.Runs {
+		total += len(run)
+		for _, m := range run {
+			values += len(m.Values)
+		}
+	}
+	if total > 0 {
+		buf := make([]float64, 0, values)
+		out.Objects = make([]Object, 0, total)
+		for _, run := range r.Runs {
+			for _, m := range run {
+				var vals []float64
+				if len(m.Values) > 0 {
+					off := len(buf)
+					buf = append(buf, m.Values...)
+					vals = buf[off:len(buf):len(buf)]
+				}
+				out.Objects = append(out.Objects, Object{Name: m.Name, Values: vals, ID: string(m.ObjectID), Peer: string(m.Peer)})
+			}
+		}
+	}
+	if len(r.Destinations) > 0 {
+		out.Destinations = make([]string, len(r.Destinations))
+		for i, d := range r.Destinations {
+			out.Destinations[i] = string(d)
+		}
 	}
 	return out
 }

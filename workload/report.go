@@ -41,8 +41,14 @@ type OpReport struct {
 	HopDelay  Quantiles `json:"hop_delay"`
 	Messages  Quantiles `json:"messages"`
 	DestPeers Quantiles `json:"dest_peers"`
-	// Matches is the result-set size distribution (query kinds only).
+	// Matches is the result-set size distribution (query kinds only; for
+	// range-paged operations, the total across the whole walk).
 	Matches Quantiles `json:"matches"`
+	// Pages and MatchesPerPage describe range-paged walks: how many pages
+	// one operation took and how many objects each page carried. Omitted
+	// (all zero) for every other kind.
+	Pages          Quantiles `json:"pages,omitzero"`
+	MatchesPerPage Quantiles `json:"matches_per_page,omitzero"`
 }
 
 // ChurnReport counts the churn events of one run.
@@ -86,7 +92,13 @@ type Report struct {
 	Throughput float64 `json:"throughput_per_sec"`
 	// Ops maps operation-kind name → summary; kinds with zero weight are
 	// absent.
-	Ops       map[string]OpReport `json:"ops"`
-	Churn     ChurnReport         `json:"churn"`
-	Intervals []Snapshot          `json:"intervals"`
+	Ops   map[string]OpReport `json:"ops"`
+	Churn ChurnReport         `json:"churn"`
+	// QueueWaitMs is the open-loop dispatch queue wait — the time between
+	// an operation's Poisson arrival and a worker starting it — and
+	// Dropped the number of arrivals shed because the bounded queue was
+	// full. Both zero (and the former omitted) for closed-loop runs.
+	QueueWaitMs Quantiles  `json:"queue_wait_ms,omitzero"`
+	Dropped     int        `json:"dropped,omitempty"`
+	Intervals   []Snapshot `json:"intervals"`
 }

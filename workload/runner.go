@@ -102,7 +102,7 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 		r.snapshots(bgCtx, start, coll)
 	}()
 
-	acquire := r.arrivals(runCtx)
+	acquire := r.arrivals(runCtx, coll)
 	var workers sync.WaitGroup
 	for w := 0; w < sc.Arrival.Workers; w++ {
 		workers.Add(1)
@@ -132,7 +132,15 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 // arrivals returns the acquire function workers call before each op.
 // Closed loop: succeed until the op budget or context runs out. Open loop:
 // block until the Poisson dispatcher admits an arrival.
-func (r *Runner) arrivals(ctx context.Context) func() bool {
+//
+// The open-loop dispatcher keeps an absolute schedule: each arrival time is
+// the previous one plus an exponential gap, independent of how long
+// dispatch or service took, so the offered rate never sags under load.
+// Arrivals queue in a bounded channel; one finding the queue full is shed
+// and counted (collector.dropped), and every admitted arrival's queue wait
+// is sampled (collector.queueWait) — saturation is visible in the report
+// instead of silently backlogging.
+func (r *Runner) arrivals(ctx context.Context, coll *collector) func() bool {
 	sc := &r.sc
 	if sc.Arrival.RatePerSec <= 0 {
 		var issued atomic.Int64
@@ -143,33 +151,41 @@ func (r *Runner) arrivals(ctx context.Context) func() bool {
 			return sc.Ops <= 0 || issued.Add(1) <= int64(sc.Ops)
 		}
 	}
-	// Arrivals beyond Workers in-flight backlog in the channel, bounding
-	// how far an overloaded run departs from the nominal rate.
-	ch := make(chan struct{}, sc.Arrival.Workers)
+	ch := make(chan time.Time, sc.Arrival.QueueCap)
 	go func() {
 		defer close(ch)
 		rng := rand.New(rand.NewSource(sc.Seed ^ 0x9e3779b9))
 		mean := float64(time.Second) / sc.Arrival.RatePerSec
 		timer := time.NewTimer(time.Hour)
 		defer timer.Stop()
+		next := time.Now()
 		for n := 0; sc.Ops <= 0 || n < sc.Ops; n++ {
-			timer.Reset(time.Duration(rng.ExpFloat64() * mean))
-			select {
-			case <-ctx.Done():
+			next = next.Add(time.Duration(rng.ExpFloat64() * mean))
+			if wait := time.Until(next); wait > 0 {
+				timer.Reset(wait)
+				select {
+				case <-ctx.Done():
+					return
+				case <-timer.C:
+				}
+			} else if ctx.Err() != nil {
 				return
-			case <-timer.C:
 			}
 			select {
-			case ch <- struct{}{}:
-			case <-ctx.Done():
-				return
+			case ch <- time.Now():
+			default:
+				coll.dropped.Add(1)
 			}
 		}
 	}()
 	return func() bool {
 		select {
-		case _, ok := <-ch:
-			return ok
+		case at, ok := <-ch:
+			if !ok {
+				return false
+			}
+			coll.queueWait.Add(float64(time.Since(at)) / float64(time.Millisecond))
+			return true
 		case <-ctx.Done():
 			// Drain nothing further; pending arrivals are dropped.
 			return false
@@ -229,6 +245,57 @@ func (r *Runner) execOp(ctx context.Context, smp *sampler, pool *keyPool, coll *
 		r.doQuery(ctx, armada.NewRange(smp.ranges(false), armada.WithTopK(r.sc.TopK)), &coll.ops[OpTopK])
 	case OpFlood:
 		r.doQuery(ctx, armada.NewRange(smp.ranges(false), armada.WithFlood()), &coll.ops[OpFlood])
+	case OpRangePaged:
+		r.doPagedRange(ctx, smp, &coll.ops[OpRangePaged])
+	}
+}
+
+// doPagedRange walks one range query page by page (WithLimit /
+// WithOffsetID) until the cursor is exhausted. The whole walk is one
+// operation: its latency spans all pages, hop metrics accumulate across
+// them (delay takes the max — pages could be issued concurrently), and the
+// per-page result sizes land in the matches-per-page sample.
+func (r *Runner) doPagedRange(ctx context.Context, smp *sampler, oc *opCollector) {
+	ranges := smp.ranges(false)
+	start := time.Now()
+	var (
+		offset               string
+		matches, delay, msgs int
+		pageSizes, pageDests []int // flushed only when the whole walk succeeds
+	)
+	for {
+		opts := []armada.QueryOption{armada.WithLimit(r.sc.PageLimit)}
+		if offset != "" {
+			opts = append(opts, armada.WithOffsetID(offset))
+		}
+		res, err := r.net.Do(ctx, armada.NewRange(ranges, opts...))
+		if err != nil {
+			if ctx.Err() != nil {
+				return // shutdown races are not workload errors
+			}
+			oc.record(start, err)
+			return
+		}
+		matches += len(res.Objects)
+		msgs += res.Stats.Messages
+		if res.Stats.Delay > delay {
+			delay = res.Stats.Delay
+		}
+		pageSizes = append(pageSizes, len(res.Objects))
+		pageDests = append(pageDests, res.Stats.DestPeers) // per page: the fan-out each page pays
+		if res.NextOffsetID == "" {
+			break
+		}
+		offset = res.NextOffsetID
+	}
+	oc.record(start, nil)
+	oc.delay.AddInt(delay)
+	oc.msgs.AddInt(msgs)
+	oc.matches.AddInt(matches)
+	oc.pages.AddInt(len(pageSizes))
+	for i := range pageSizes {
+		oc.perPage.AddInt(pageSizes[i])
+		oc.dest.AddInt(pageDests[i])
 	}
 }
 
@@ -258,6 +325,11 @@ func (r *Runner) doQuery(ctx context.Context, q armada.Query, oc *opCollector) {
 }
 
 // churn runs the merged Poisson join/leave/fail process until ctx ends.
+// Like the open-loop dispatcher, it keeps an absolute schedule: event times
+// are drawn independently of how long each event takes to execute, so when
+// an event overruns its gap the following ones fire back to back instead
+// of silently stretching the process — the realized rate tracks the
+// nominal one up to what the network can absorb.
 func (r *Runner) churn(ctx context.Context, coll *collector) {
 	sc := &r.sc
 	rng := rand.New(rand.NewSource(sc.Seed ^ 0x51f15eed))
@@ -265,12 +337,18 @@ func (r *Runner) churn(ctx context.Context, coll *collector) {
 	mean := float64(time.Second) / total
 	timer := time.NewTimer(time.Hour)
 	defer timer.Stop()
+	next := time.Now()
 	for {
-		timer.Reset(time.Duration(rng.ExpFloat64() * mean))
-		select {
-		case <-ctx.Done():
+		next = next.Add(time.Duration(rng.ExpFloat64() * mean))
+		if wait := time.Until(next); wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-ctx.Done():
+				return
+			case <-timer.C:
+			}
+		} else if ctx.Err() != nil {
 			return
-		case <-timer.C:
 		}
 		var err error
 		switch x := rng.Float64() * total; {
@@ -342,6 +420,10 @@ func (r *Runner) report(elapsed time.Duration, startPeers int, coll *collector) 
 		},
 		Intervals: coll.snapshots(),
 	}
+	if r.sc.Arrival.RatePerSec > 0 {
+		rep.QueueWaitMs = quantilesOf(coll.queueWait.Snapshot())
+		rep.Dropped = int(coll.dropped.Load())
+	}
 	for k := OpKind(0); k < numOps; k++ {
 		oc := &coll.ops[k]
 		count := int(oc.count.Load())
@@ -349,14 +431,16 @@ func (r *Runner) report(elapsed time.Duration, startPeers int, coll *collector) 
 			continue
 		}
 		op := OpReport{
-			Count:     count,
-			Errors:    int(oc.errs.Load()),
-			Misses:    int(oc.misses.Load()),
-			LatencyMs: quantilesOf(oc.lat.Snapshot()),
-			HopDelay:  quantilesOf(oc.delay.Snapshot()),
-			Messages:  quantilesOf(oc.msgs.Snapshot()),
-			DestPeers: quantilesOf(oc.dest.Snapshot()),
-			Matches:   quantilesOf(oc.matches.Snapshot()),
+			Count:          count,
+			Errors:         int(oc.errs.Load()),
+			Misses:         int(oc.misses.Load()),
+			LatencyMs:      quantilesOf(oc.lat.Snapshot()),
+			HopDelay:       quantilesOf(oc.delay.Snapshot()),
+			Messages:       quantilesOf(oc.msgs.Snapshot()),
+			DestPeers:      quantilesOf(oc.dest.Snapshot()),
+			Matches:        quantilesOf(oc.matches.Snapshot()),
+			Pages:          quantilesOf(oc.pages.Snapshot()),
+			MatchesPerPage: quantilesOf(oc.perPage.Snapshot()),
 		}
 		if secs > 0 {
 			op.Throughput = float64(count) / secs
@@ -380,8 +464,10 @@ type opCollector struct {
 	lat     stats.SafeSample // wall-clock service time, ms
 	delay   stats.SafeSample // hop delay (query kinds)
 	msgs    stats.SafeSample // overlay messages (query kinds)
-	dest    stats.SafeSample // destination peers (query kinds)
-	matches stats.SafeSample // result-set size (query kinds)
+	dest    stats.SafeSample // destination peers (query kinds; per page for range-paged)
+	matches stats.SafeSample // result-set size (query kinds; whole walk for range-paged)
+	pages   stats.SafeSample // pages per walk (range-paged only)
+	perPage stats.SafeSample // matches per page (range-paged only)
 }
 
 // record counts one completed operation; successful ones contribute their
@@ -398,6 +484,11 @@ func (oc *opCollector) record(start time.Time, err error) {
 // collector aggregates a whole run.
 type collector struct {
 	ops [numOps]opCollector
+
+	// Open-loop saturation metrics: queue wait of admitted arrivals and
+	// the number shed on a full queue.
+	queueWait stats.SafeSample
+	dropped   atomic.Int64
 
 	churnJoins  atomic.Int64
 	churnLeaves atomic.Int64

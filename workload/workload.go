@@ -42,6 +42,7 @@ const (
 	OpMultiRange
 	OpTopK
 	OpFlood
+	OpRangePaged
 	numOps
 )
 
@@ -62,6 +63,8 @@ func (k OpKind) String() string {
 		return "top-k"
 	case OpFlood:
 		return "flood"
+	case OpRangePaged:
+		return "range-paged"
 	default:
 		return fmt.Sprintf("OpKind(%d)", int(k))
 	}
@@ -73,8 +76,11 @@ func (k OpKind) String() string {
 //
 // Range constrains the first attribute and leaves the others unbounded;
 // MultiRange constrains every attribute (on a single-attribute network the
-// two coincide). Unpublish targets a previously published object; when
-// none remains, the operation falls back to a publish so the mix stays
+// two coincide). RangePaged runs the same range shape as Range but walks
+// the result in pages of Scenario.PageLimit objects via WithLimit and
+// WithOffsetID, recording per-page metrics — one operation is the whole
+// walk. Unpublish targets a previously published object; when none
+// remains, the operation falls back to a publish so the mix stays
 // sustainable.
 type Mix struct {
 	Publish    float64 `json:"publish,omitempty"`
@@ -84,11 +90,12 @@ type Mix struct {
 	MultiRange float64 `json:"multi_range,omitempty"`
 	TopK       float64 `json:"top_k,omitempty"`
 	Flood      float64 `json:"flood,omitempty"`
+	RangePaged float64 `json:"range_paged,omitempty"`
 }
 
 // weights returns the mix in OpKind order.
 func (m Mix) weights() [numOps]float64 {
-	return [numOps]float64{m.Publish, m.Unpublish, m.Lookup, m.Range, m.MultiRange, m.TopK, m.Flood}
+	return [numOps]float64{m.Publish, m.Unpublish, m.Lookup, m.Range, m.MultiRange, m.TopK, m.Flood, m.RangePaged}
 }
 
 func (m Mix) total() float64 {
@@ -153,13 +160,18 @@ type SizeDist struct {
 //
 // With RatePerSec zero the load is closed-loop: Workers workers each issue
 // operations back to back (optionally separated by Think). With RatePerSec
-// positive the load is open-loop: operations arrive as a Poisson process
-// at that rate and are served by up to Workers concurrent executors
-// (arrivals beyond that backlog briefly, bounding overload).
+// positive the load is open-loop: operations arrive on an absolute Poisson
+// schedule at that rate and queue (up to QueueCap) for up to Workers
+// concurrent executors. An arrival finding the queue full is dropped and
+// counted in the report — overload surfaces as queue wait and drops, never
+// as a silent sag of the arrival rate. Under sustained overload a run
+// stopped by Ops may therefore complete fewer than Ops operations.
 type Arrival struct {
 	Workers    int           `json:"workers"`
 	RatePerSec float64       `json:"rate_per_sec,omitempty"`
 	Think      time.Duration `json:"think,omitempty"`
+	// QueueCap bounds the open-loop dispatch queue (default 4×Workers).
+	QueueCap int `json:"queue_cap,omitempty"`
 }
 
 // Churn is a peer-dynamics process running concurrently with the traffic:
@@ -200,6 +212,8 @@ type Scenario struct {
 	Preload int `json:"preload"`
 	// TopK is the K of top-k operations (default 10).
 	TopK int `json:"top_k,omitempty"`
+	// PageLimit is the page size of range-paged operations (default 256).
+	PageLimit int `json:"page_limit,omitempty"`
 
 	Mix       Mix      `json:"mix"`
 	Keys      KeyDist  `json:"keys"`
@@ -237,6 +251,9 @@ func (s Scenario) withDefaults() Scenario {
 	if s.TopK == 0 {
 		s.TopK = 10
 	}
+	if s.PageLimit == 0 {
+		s.PageLimit = 256
+	}
 	if s.Mix.total() == 0 {
 		s.Mix = Mix{Publish: 10, Unpublish: 5, Lookup: 10, Range: 70, TopK: 5}
 	}
@@ -256,6 +273,9 @@ func (s Scenario) withDefaults() Scenario {
 	}
 	if s.Arrival.Workers == 0 {
 		s.Arrival.Workers = 8
+	}
+	if s.Arrival.RatePerSec > 0 && s.Arrival.QueueCap == 0 {
+		s.Arrival.QueueCap = 4 * s.Arrival.Workers
 	}
 	if s.Churn.Enabled() && s.Churn.MinPeers == 0 {
 		s.Churn.MinPeers = 16
@@ -314,6 +334,12 @@ func (s Scenario) validate() error {
 	}
 	if s.Arrival.RatePerSec < 0 || s.Arrival.Think < 0 {
 		return bad("negative arrival rate or think time")
+	}
+	if s.Arrival.QueueCap < 0 {
+		return bad("negative arrival queue cap")
+	}
+	if s.PageLimit < 1 && s.Mix.RangePaged > 0 {
+		return bad("range-paged weight set but page limit = %d", s.PageLimit)
 	}
 	if s.Churn.JoinPerSec < 0 || s.Churn.LeavePerSec < 0 || s.Churn.FailPerSec < 0 {
 		return bad("negative churn rate")

@@ -135,8 +135,33 @@ func TestExecuteOpenLoop(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.TotalOps != 150 {
-		t.Errorf("total ops = %d, want 150", rep.TotalOps)
+	// The dispatcher generates exactly Ops arrivals; under overload some
+	// are shed on the bounded queue and counted, never silently lost.
+	if got := rep.TotalOps + rep.Dropped; got != 150 {
+		t.Errorf("completed %d + dropped %d = %d arrivals, want 150", rep.TotalOps, rep.Dropped, got)
+	}
+	if rep.TotalOps == 0 {
+		t.Error("open-loop run completed no ops")
+	}
+	// Every admitted arrival contributes a queue-wait sample.
+	if rep.QueueWaitMs.Max < 0 {
+		t.Errorf("negative queue wait: %+v", rep.QueueWaitMs)
+	}
+}
+
+func TestExecuteOpenLoopUnderCapacity(t *testing.T) {
+	// At a rate the workers can easily absorb nothing may be dropped. The
+	// queue cap is raised well past the op budget so a scheduler stall on
+	// a loaded CI box cannot overflow the queue and flake the assertion.
+	sc := small()
+	sc.Ops = 50
+	sc.Arrival = Arrival{Workers: 4, RatePerSec: 200, QueueCap: 64}
+	rep, err := Execute(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalOps != 50 || rep.Dropped != 0 {
+		t.Errorf("under-capacity run: completed %d (want 50), dropped %d (want 0)", rep.TotalOps, rep.Dropped)
 	}
 }
 
