@@ -1,0 +1,30 @@
+# Developer entry points. CI runs the same commands (see
+# .github/workflows/ci.yml).
+
+GO ?= go
+
+.PHONY: test race build vet smoke rebaseline
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The CI load-smoke invocation, gated against the committed budget.
+smoke:
+	$(GO) run ./cmd/armada-load -scenario mixed -ops 2000 -peers 500 -v -compare BENCH_baseline.json
+
+# Regenerate the committed compare-gate budget as the per-op worst of three
+# runs of the CI invocation. Run after any change that legitimately moves
+# the mixed scenario's latency profile (and commit the result), so the
+# regression gate is re-budgeted in one command.
+rebaseline:
+	$(GO) run ./cmd/armada-load -scenario mixed -ops 2000 -peers 500 -worst-of 3 -out BENCH_baseline.json
+	@echo "BENCH_baseline.json regenerated (worst-of-3); review and commit it"

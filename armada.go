@@ -109,6 +109,11 @@ func NewNetwork(peers int, opts ...Option) (*Network, error) {
 	if err != nil {
 		return nil, fmt.Errorf("armada: naming tree: %w", err)
 	}
+	if cfg.replicas > 1 {
+		if err := net.SetReplicas(cfg.replicas); err != nil {
+			return nil, fmt.Errorf("armada: replication: %w", err)
+		}
+	}
 	eng, err := core.New(net, tree)
 	if err != nil {
 		return nil, err
@@ -132,6 +137,15 @@ func (n *Network) Size() int {
 	defer n.mu.RUnlock()
 	return n.net.Size()
 }
+
+// Replicas returns the network's replication degree (1 = single-owner, no
+// replication).
+func (n *Network) Replicas() int { return n.net.Replicas() }
+
+// ReReplications returns the total number of objects copied between peers
+// to restore replica sets after churn (always 0 without replication). The
+// workload package reports its growth per run.
+func (n *Network) ReReplications() int64 { return n.net.ReReplications() }
 
 // Attributes returns the number of configured attributes.
 func (n *Network) Attributes() int { return n.tree.Attrs() }
@@ -182,10 +196,11 @@ func (n *Network) Leave(peerID string) error {
 	return wrapFissioneErr(n.net.Leave(kautz.Str(peerID)), peerID)
 }
 
-// Fail simulates a crash-stop of the identified peer: its stored objects
-// are lost (Armada does not replicate data), and the survivors'
-// self-stabilization restores the namespace cover and all invariants before
-// Fail returns.
+// Fail simulates a crash-stop of the identified peer. Without replication
+// its stored objects are lost; with WithReplication(k ≥ 2) they are
+// restored from surviving replicas during self-stabilization, which also
+// re-establishes the namespace cover and all invariants before Fail
+// returns.
 func (n *Network) Fail(peerID string) error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -225,7 +240,8 @@ type Publication struct {
 // batch with an error naming i; objects before it remain published.
 //
 // A batch is not atomic with respect to readers: publishes land peer by
-// peer, so a concurrent query may observe part of a still-running batch
+// peer — and, on a replicated network, replica by replica within each
+// group — so a concurrent query may observe part of a still-running batch
 // (pre-refactor, the batch held the write lock and appeared all at once).
 // Callers needing all-or-nothing visibility must add their own barrier.
 func (n *Network) PublishBatch(pubs []Publication) error {
@@ -440,9 +456,16 @@ func (n *Network) Stream(ctx context.Context, q Query) iter.Seq2[Object, error] 
 // onMatch, when non-nil, streams each matching object at delivery time.
 func (n *Network) do(ctx context.Context, q Query, issuer string, onMatch func(Object)) (*Result, error) {
 	kind := q.kind()
-	opts := make([]core.QueryOption, 0, 5)
+	opts := make([]core.QueryOption, 0, 6)
 	if n.mode == core.Async {
 		opts = append(opts, core.WithMode(core.Async))
+	}
+	pol, err := n.readPolicy(q.ReadPolicy)
+	if err != nil {
+		return nil, err
+	}
+	if pol != core.ReadPrimary {
+		opts = append(opts, core.WithReadPolicy(pol))
 	}
 	if q.Trace != nil {
 		trace := q.Trace
@@ -476,10 +499,21 @@ func (n *Network) do(ctx context.Context, q Query, issuer string, onMatch func(O
 
 	switch kind {
 	case KindLookup:
-		if q.Name == "" {
-			return nil, fmt.Errorf("%w: lookup needs a name", ErrBadQuery)
+		var oid kautz.Str
+		switch {
+		case q.Name != "":
+			oid = kautz.Hash(q.Name, n.net.K())
+		case len(q.Values) > 0:
+			if len(q.Values) != n.tree.Attrs() {
+				return nil, fmt.Errorf("%w: got %d lookup values, want %d", ErrBadArity, len(q.Values), n.tree.Attrs())
+			}
+			var err error
+			if oid, err = n.tree.Hash(q.Values...); err != nil {
+				return nil, fmt.Errorf("armada: value lookup: %w", err)
+			}
+		default:
+			return nil, fmt.Errorf("%w: lookup needs a name or attribute values", ErrBadQuery)
 		}
-		oid := kautz.Hash(q.Name, n.net.K())
 		res, err := n.eng.Lookup(ctx, kautz.Str(issuer), oid, opts...)
 		if err != nil {
 			return nil, wrapCoreErr(err)
@@ -487,7 +521,9 @@ func (n *Network) do(ctx context.Context, q Query, issuer string, onMatch func(O
 		out := &Result{Owner: string(res.Owner), Stats: statsOf(res.Stats)}
 		for _, o := range res.Objects {
 			out.Objects = append(out.Objects, Object{
-				Name: o.Name, Values: copyValues(o.Values), ID: string(oid), Peer: out.Owner,
+				// Peer names the replica that served the delivery (== Owner
+				// unless a read policy redirected it).
+				Name: o.Name, Values: copyValues(o.Values), ID: string(oid), Peer: string(res.Served),
 			})
 		}
 		return out, nil
@@ -661,6 +697,27 @@ func (n *Network) Audit() error {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
 	return n.net.Audit()
+}
+
+// readPolicy resolves a query's read policy against the network's
+// replication configuration; ReadDefault becomes round-robin on a
+// replicated network and primary otherwise.
+func (n *Network) readPolicy(p ReadPolicy) (core.ReadPolicy, error) {
+	switch p {
+	case ReadDefault:
+		if n.net.Replicas() > 1 {
+			return core.ReadRoundRobin, nil
+		}
+		return core.ReadPrimary, nil
+	case ReadPrimary:
+		return core.ReadPrimary, nil
+	case ReadRoundRobin:
+		return core.ReadRoundRobin, nil
+	case ReadLeastLoaded:
+		return core.ReadLeastLoaded, nil
+	default:
+		return core.ReadPrimary, fmt.Errorf("%w: unknown read policy %v", ErrBadQuery, p)
+	}
 }
 
 // wrapCoreErr maps engine errors onto the package's exported errors.

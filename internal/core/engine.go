@@ -28,6 +28,7 @@ import (
 	"slices"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"armada/internal/fissione"
 	"armada/internal/kautz"
@@ -61,12 +62,47 @@ var (
 type Engine struct {
 	net  *fissione.Network
 	tree *naming.Tree
+	// rr is the round-robin read policy's cursor; shared by all queries so
+	// repeated identical queries rotate through a group's replicas.
+	rr atomic.Uint64
 }
 
 // TraceFunc observes one descent hop. from is the processing peer, to the
-// forward's target; deliveries report to == from with remaining == 0. A
-// trace function passed to an Async query must be safe for concurrent use.
+// forward's target; deliveries have remaining == 0 and report the peer
+// that served the delivery as to — equal to from unless a read policy
+// redirected the scan to a replica. A trace function passed to an Async
+// query must be safe for concurrent use.
 type TraceFunc func(from, to kautz.Str, depth, remaining int)
+
+// ReadPolicy selects which member of a region's replica group serves a
+// delivery. On an unreplicated network every policy is ReadPrimary.
+type ReadPolicy int
+
+const (
+	// ReadPrimary always serves from the region's owner — the zero value,
+	// byte-identical to the unreplicated data path.
+	ReadPrimary ReadPolicy = iota
+	// ReadRoundRobin rotates deliveries through the group, spreading a hot
+	// region's read load evenly.
+	ReadRoundRobin
+	// ReadLeastLoaded serves from the group member that has served the
+	// fewest region scans so far.
+	ReadLeastLoaded
+)
+
+// String names the policy for reports and errors.
+func (p ReadPolicy) String() string {
+	switch p {
+	case ReadPrimary:
+		return "primary"
+	case ReadRoundRobin:
+		return "round-robin"
+	case ReadLeastLoaded:
+		return "least-loaded"
+	default:
+		return fmt.Sprintf("ReadPolicy(%d)", int(p))
+	}
+}
 
 // QueryConfig is the per-query execution configuration. The zero value runs
 // a plain synchronous query.
@@ -93,6 +129,10 @@ type QueryConfig struct {
 	// callers that stream the runs into their own representation (the
 	// armada layer converts runs straight into its public result type).
 	RunsOnly bool
+	// Policy selects the replica that serves each delivery on a replicated
+	// network. The zero value (ReadPrimary) preserves the unreplicated
+	// data path exactly.
+	Policy ReadPolicy
 }
 
 // QueryOption adjusts one query's configuration.
@@ -118,6 +158,9 @@ func WithAfter(id kautz.Str) QueryOption { return func(c *QueryConfig) { c.After
 // WithRunsOnly skips flattening the result into Matches; the caller reads
 // RangeResult.Runs instead.
 func WithRunsOnly() QueryOption { return func(c *QueryConfig) { c.RunsOnly = true } }
+
+// WithReadPolicy selects the replica-serving policy for this query.
+func WithReadPolicy(p ReadPolicy) QueryOption { return func(c *QueryConfig) { c.Policy = p } }
 
 func buildQueryConfig(opts []QueryOption) QueryConfig {
 	var cfg QueryConfig
@@ -158,6 +201,11 @@ type Stats struct {
 	// Deliveries counts destination arrivals including any duplicates; it
 	// equals DestPeers when each destination is reached exactly once.
 	Deliveries int
+	// ReplicaServed counts deliveries served by a replica other than the
+	// region's owner (always 0 under ReadPrimary or without replication).
+	// Each such redirect is accounted as one extra overlay message, and as
+	// one extra hop of delay for that destination.
+	ReplicaServed int
 }
 
 // MesgRatio is Messages/Destpeers, the paper's per-destination message
@@ -226,13 +274,15 @@ type queryMsg struct {
 // is a sort of whole runs by head ObjectID plus concatenation — O(total)
 // instead of O(total·log total) for the big hot-region result sets.
 type queryState struct {
-	mu        sync.Mutex
-	box       *naming.Box
-	cfg       QueryConfig
-	runs      [][]Match // each ascending (ObjectID, Name); pairwise disjoint ID ranges
-	nmatches  int
-	dests     []kautz.Str
-	truncated bool // some peer (or the final cut) dropped matches to a Limit
+	mu            sync.Mutex
+	box           *naming.Box
+	cfg           QueryConfig
+	runs          [][]Match // each ascending (ObjectID, Name); pairwise disjoint ID ranges
+	nmatches      int
+	dests         []kautz.Str
+	truncated     bool // some peer (or the final cut) dropped matches to a Limit
+	replicaServed int  // deliveries redirected to a non-owner replica
+	redirectDepth int  // deepest redirected delivery (owner depth + 1)
 }
 
 // RangeQuery executes a range query issued by the given peer: PIRA when the
@@ -281,7 +331,11 @@ func clipRegionAfter(r kautz.Region, after kautz.Str) (kautz.Region, bool) {
 
 // LookupResult is the outcome of an exact-match lookup.
 type LookupResult struct {
+	// Owner is the peer owning the looked-up ObjectID; Served is the
+	// replica that answered the delivery — equal to Owner unless a read
+	// policy redirected it (or when nothing was delivered).
 	Owner   kautz.Str
+	Served  kautz.Str
 	Objects []fissione.Object
 	Stats   Stats
 }
@@ -305,7 +359,9 @@ func (e *Engine) Lookup(ctx context.Context, issuer kautz.Str, objectID kautz.St
 	if len(res.Destinations) > 0 {
 		out.Owner = res.Destinations[0]
 	}
+	out.Served = out.Owner
 	for _, m := range res.Matches {
+		out.Served = m.Peer // one delivery serves a lookup; all matches agree
 		out.Objects = append(out.Objects, fissione.Object{Name: m.Name, Values: m.Values})
 	}
 	return out, nil
@@ -376,10 +432,7 @@ func (e *Engine) step(state *queryState, m simnet.Message) []simnet.Message {
 		return nil
 	}
 	if qm.h == 0 {
-		if state.cfg.Trace != nil {
-			state.cfg.Trace(peer.ID(), peer.ID(), m.Depth, 0)
-		}
-		state.deliver(peer, qm.region)
+		e.deliver(state, peer, qm.region, m.Depth)
 		return nil
 	}
 	var fwd []simnet.Message
@@ -409,22 +462,44 @@ func (e *Engine) prefixIntersectsBox(prefix kautz.Str, box naming.Box) bool {
 	return err == nil && ok
 }
 
-// deliver records the peer as a destination and collects its matching
-// objects with one ordered scan of the peer's index — O(log store + k) for
-// k results, or O(log store + Limit) when the query paginates — notifying
-// the query's OnMatch observer outside the state lock.
+// deliver records owner as a destination and collects the delivered
+// region's matching objects with one ordered scan of the serving peer's
+// index — O(log store + k) for k results, or O(log store + Limit) when the
+// query paginates — notifying the query's OnMatch observer outside the
+// state lock.
+//
+// On a replicated network the scan may be served by any member of the
+// owner's replica group, chosen by the query's read policy. The scan is
+// then clipped to the owner's own region: a replica's store also carries
+// copies of neighboring regions, and without the clip those objects would
+// be returned both here and at their own region's delivery. Clipping makes
+// every ObjectID the responsibility of exactly one delivery, which keeps
+// flood mode and paginated walks exact under replication. A redirected
+// delivery costs one extra overlay message and arrives one hop later.
 //
 // With a Limit, the peer collects only its first Limit matches after the
 // cursor (plus any run of equal ObjectIDs straddling the cut). The final
 // global cut in result keeps pagination exact: a match dropped here is
 // preceded by Limit collected matches with smaller ObjectIDs on this peer
 // alone, so it can never belong to the current page.
-func (state *queryState) deliver(peer *fissione.Peer, region kautz.Region) {
+func (e *Engine) deliver(state *queryState, owner *fissione.Peer, region kautz.Region, depth int) {
+	serving, scan, ok := e.serveTarget(owner, region, state.cfg.Policy)
+	if state.cfg.Trace != nil {
+		state.cfg.Trace(owner.ID(), serving.ID(), depth, 0)
+	}
+	if !ok {
+		// The owner's region does not intersect the delivered region: an
+		// empty delivery, recorded as a destination like an empty scan.
+		state.mu.Lock()
+		state.dests = append(state.dests, owner.ID())
+		state.mu.Unlock()
+		return
+	}
 	var (
 		collected []Match
 		truncated bool
 	)
-	peer.ScanRegionHinted(region, state.cfg.After, func(n int) {
+	serving.ScanRegionHinted(scan, state.cfg.After, func(n int) {
 		if state.cfg.Limit > 0 && n > state.cfg.Limit {
 			n = state.cfg.Limit + 1 // one slot of tie headroom; appends may still grow it
 		}
@@ -446,12 +521,18 @@ func (state *queryState) deliver(peer *fissione.Peer, region kautz.Region) {
 			ObjectID: so.ObjectID,
 			Name:     so.Object.Name,
 			Values:   so.Object.Values, // aliased; see Match
-			Peer:     peer.ID(),
+			Peer:     serving.ID(),
 		})
 		return true
 	})
 	state.mu.Lock()
-	state.dests = append(state.dests, peer.ID())
+	state.dests = append(state.dests, owner.ID())
+	if serving != owner {
+		state.replicaServed++
+		if depth+1 > state.redirectDepth {
+			state.redirectDepth = depth + 1
+		}
+	}
 	if len(collected) > 0 {
 		state.runs = append(state.runs, collected)
 		state.nmatches += len(collected)
@@ -465,6 +546,43 @@ func (state *queryState) deliver(peer *fissione.Peer, region kautz.Region) {
 			state.cfg.OnMatch(m)
 		}
 	}
+}
+
+// serveTarget resolves one delivery: the peer that will serve it (chosen
+// from the owner's replica group by the read policy) and the region it
+// must scan (the delivered region clipped to the owner's own region).
+// Without replication it is the identity — the owner scans the delivered
+// region — and everything else is skipped: an unreplicated owner stores
+// nothing outside its own region, so the results are identical and the
+// pre-replication hot path stays untouched, served-reads accounting
+// included. ok is false when the clipped region is empty.
+func (e *Engine) serveTarget(owner *fissione.Peer, region kautz.Region, pol ReadPolicy) (serving *fissione.Peer, scan kautz.Region, ok bool) {
+	if e.net.Replicas() == 1 {
+		return owner, region, true
+	}
+	id := owner.ID()
+	own := kautz.Region{Low: kautz.MinExtend(id, e.net.K()), High: kautz.MaxExtend(id, e.net.K())}
+	scan, ok = region.Intersect(own)
+	if !ok {
+		return owner, scan, false
+	}
+	serving = owner
+	if pol != ReadPrimary {
+		var buf [16]*fissione.Peer // replication degrees are small; avoids a heap group slice per delivery
+		group := e.net.AppendGroupPeers(buf[:0], id)
+		switch pol {
+		case ReadRoundRobin:
+			serving = group[e.rr.Add(1)%uint64(len(group))]
+		case ReadLeastLoaded:
+			for _, p := range group[1:] {
+				if p.ServedReads() < serving.ServedReads() {
+					serving = p
+				}
+			}
+		}
+	}
+	serving.NoteServed()
+	return serving, scan, true
 }
 
 // result assembles the final RangeResult.
@@ -531,17 +649,25 @@ func (state *queryState) result(metrics simnet.Metrics, subregions int) *RangeRe
 		}
 	}
 
+	// A redirected delivery is one extra overlay message (owner → serving
+	// replica), and that destination's data arrives one hop after the
+	// owner received the query.
+	delay := metrics.Delay
+	if state.redirectDepth > delay {
+		delay = state.redirectDepth
+	}
 	return &RangeResult{
 		Matches:      matches,
 		Runs:         runs,
 		Destinations: unique,
 		Next:         next,
 		Stats: Stats{
-			Delay:      metrics.Delay,
-			Messages:   metrics.Messages,
-			DestPeers:  len(unique),
-			Subregions: subregions,
-			Deliveries: len(state.dests),
+			Delay:         delay,
+			Messages:      metrics.Messages + state.replicaServed,
+			DestPeers:     len(unique),
+			Subregions:    subregions,
+			Deliveries:    len(state.dests),
+			ReplicaServed: state.replicaServed,
 		},
 	}
 }

@@ -146,10 +146,7 @@ func (e *Engine) FloodQuery(ctx context.Context, issuer kautz.Str, lo, hi []floa
 			// Deliver only where the region predicate holds, so results and
 			// destination counts stay comparable with RangeQuery.
 			if qm.region.ContainsPrefix(peer.ID()) {
-				if cfg.Trace != nil {
-					cfg.Trace(peer.ID(), peer.ID(), m.Depth, 0)
-				}
-				state.deliver(peer, qm.region)
+				e.deliver(state, peer, qm.region, m.Depth)
 			}
 			return nil
 		}

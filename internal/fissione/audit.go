@@ -125,7 +125,8 @@ func (n *Network) CheckTables() error {
 	return nil
 }
 
-// Audit runs every structural check.
+// Audit runs every structural check; with a replication degree above 1 it
+// also verifies byte-for-byte replica-set consistency (CheckReplicas).
 func (n *Network) Audit() error {
 	if err := n.CheckCover(); err != nil {
 		return err
@@ -133,7 +134,13 @@ func (n *Network) Audit() error {
 	if err := n.CheckInvariant(); err != nil {
 		return err
 	}
-	return n.CheckTables()
+	if err := n.CheckTables(); err != nil {
+		return err
+	}
+	if n.replicas > 1 {
+		return n.CheckReplicas()
+	}
+	return nil
 }
 
 // PeersIntersectingRegion returns, from the global view, the identifiers of

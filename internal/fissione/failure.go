@@ -7,11 +7,16 @@ import (
 )
 
 // FailAbrupt simulates a crash-stop failure of the identified peer: unlike
-// a graceful Leave, the peer's stored objects are lost (this implementation
-// does not replicate data — neither does the paper's). The surviving peers
-// then run the same region-takeover protocol a graceful departure uses —
-// FISSIONE's self-stabilization restores the prefix cover and the
-// neighborhood invariant before the next query.
+// a graceful Leave, everything the peer stored vanishes with it. The
+// surviving peers then run the same region-takeover protocol a graceful
+// departure uses — FISSIONE's self-stabilization restores the prefix cover
+// and the neighborhood invariant before the next query.
+//
+// Without replication (degree 1, the paper's model) the crashed peer's
+// objects are permanently lost. With SetReplicas(r > 1), the takeover's
+// repair pass restores them from the surviving members of each affected
+// replica group, so a crash loses data only if it wipes a whole group —
+// impossible for the serialized single-crash events this simulator models.
 //
 // The network remains fully consistent when FailAbrupt returns; tests may
 // call Audit to verify. Failing below the three seed regions is rejected.

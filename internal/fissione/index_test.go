@@ -166,6 +166,90 @@ func TestOrderedIndexMatchesReference(t *testing.T) {
 	}
 }
 
+// TestReplicatedStoreMatchesReference extends the index-vs-naive property
+// test to replicated stores: every publish/unpublish fans out to a replica
+// group, yet the network as a whole must answer region queries, paged
+// scans and counts exactly like the naive single-copy reference — and
+// every group member's copy must stay byte-identical to the owner's run.
+func TestReplicatedStoreMatchesReference(t *testing.T) {
+	const k = 12
+	for _, replicas := range []int{2, 3} {
+		t.Run(fmt.Sprintf("replicas=%d", replicas), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(5000 + replicas)))
+			n, err := BuildRandom(k, 24, int64(6000+replicas))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := n.SetReplicas(replicas); err != nil {
+				t.Fatal(err)
+			}
+			ref := refStore{}
+			var pool []kautz.Str
+
+			randomID := func() kautz.Str {
+				if len(pool) > 0 && rng.Intn(3) == 0 {
+					return pool[rng.Intn(len(pool))]
+				}
+				id := kautz.Random(rng, k)
+				pool = append(pool, id)
+				return id
+			}
+			// netInRegion answers a region query the way the engine does:
+			// each owner contributes only its own region's slice, so
+			// replica copies never double-count.
+			netInRegion := func(r kautz.Region) []StoredObject {
+				var out []StoredObject
+				for _, id := range n.PeerIDs() {
+					own := kautz.Region{Low: kautz.MinExtend(id, k), High: kautz.MaxExtend(id, k)}
+					clipped, ok := r.Intersect(own)
+					if !ok {
+						continue
+					}
+					p, _ := n.Peer(id)
+					out = append(out, p.ObjectsInRegion(clipped)...)
+				}
+				return out
+			}
+			wholeSpace := kautz.Region{Low: kautz.MinExtend("", k), High: kautz.MaxExtend("", k)}
+
+			for step := 0; step < 1500; step++ {
+				switch op := rng.Intn(10); {
+				case op < 4: // publish
+					id, obj := randomID(), refObject(rng)
+					if _, err := n.PublishAt(id, obj); err != nil {
+						t.Fatalf("step %d: publish: %v", step, err)
+					}
+					ref.add(id, obj)
+				case op < 6: // unpublish, often of something absent
+					id, obj := randomID(), refObject(rng)
+					_, err := n.UnpublishAt(id, obj)
+					if want := ref.remove(id, obj); (err == nil) != want {
+						t.Fatalf("step %d: UnpublishAt(%s, %v) err=%v, reference removed=%v", step, id, obj, err, want)
+					}
+				case op < 8: // region query
+					a, b := kautz.Random(rng, k), kautz.Random(rng, k)
+					if a > b {
+						a, b = b, a
+					}
+					r := kautz.Region{Low: a, High: b}
+					got, want := netInRegion(r), ref.inRegion(r)
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("step %d: region %v diverged:\n got %v\nwant %v", step, r, got, want)
+					}
+				default: // full-space + replica-set invariants
+					got, want := netInRegion(wholeSpace), ref.all(k)
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("step %d: whole space diverged: %d objects, want %d", step, len(got), len(want))
+					}
+					if err := n.CheckReplicas(); err != nil {
+						t.Fatalf("step %d: %v", step, err)
+					}
+				}
+			}
+		})
+	}
+}
+
 // TestOrderedIndexMoves exercises the contiguous-cut move paths (splits,
 // merges, crashes) against the reference model.
 func TestOrderedIndexMoves(t *testing.T) {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync/atomic"
 
 	"armada/internal/kautz"
 )
@@ -19,16 +20,22 @@ var (
 )
 
 // Network is a FISSIONE overlay of peers partitioning KautzSpace(2,k) by
-// identifier prefix. Topology mutation (Join, Leave, FailAbrupt) is not
-// safe for concurrent use and requires external exclusion against every
-// other operation. While the topology is stable, object operations
-// (PublishAt, UnpublishAt) and reads may all run concurrently: each peer's
-// store is guarded by its own lock (see Peer).
+// identifier prefix. Topology mutation (Join, Leave, FailAbrupt,
+// SetReplicas) is not safe for concurrent use and requires external
+// exclusion against every other operation. While the topology is stable,
+// object operations (PublishAt, UnpublishAt) and reads may all run
+// concurrently: each peer's store is guarded by its own lock (see Peer).
+//
+// With a replication degree above 1 (SetReplicas), each region is owned by
+// a replica group — the owner plus its successors in trie order — and
+// every store write fans out to the whole group; see replication.go.
 type Network struct {
-	k     int
-	peers map[kautz.Str]*Peer
-	ids   []kautz.Str // sorted; kept in sync with peers
-	rng   *rand.Rand
+	k        int
+	peers    map[kautz.Str]*Peer
+	ids      []kautz.Str // sorted; kept in sync with peers
+	rng      *rand.Rand
+	replicas int          // replication degree; 1 = single-owner
+	reRepl   atomic.Int64 // objects copied by churn repair
 }
 
 // New creates a minimal network of the three seed peers 0, 1 and 2, with
@@ -39,9 +46,10 @@ func New(k int, seed int64) (*Network, error) {
 		return nil, fmt.Errorf("fissione: k=%d out of range [2, %d]", k, kautz.MaxRankLen)
 	}
 	n := &Network{
-		k:     k,
-		peers: make(map[kautz.Str]*Peer, 3),
-		rng:   rand.New(rand.NewSource(seed)),
+		k:        k,
+		peers:    make(map[kautz.Str]*Peer, 3),
+		rng:      rand.New(rand.NewSource(seed)),
+		replicas: 1,
 	}
 	for _, id := range []kautz.Str{"0", "1", "2"} {
 		n.peers[id] = newPeer(id)
@@ -197,6 +205,7 @@ func (n *Network) split(id kautz.Str) (kept, created kautz.Str, err error) {
 	affected[lower] = struct{}{}
 	affected[upper] = struct{}{}
 	n.refreshAll(affected)
+	n.repairAround(lower, upper)
 	return lower, upper, nil
 }
 
@@ -230,7 +239,7 @@ func (n *Network) Leave(id kautz.Str) error {
 		delete(n.peers, id)
 		n.removeID(sib)
 		delete(n.peers, sib)
-		p.moveAllObjects(sp)
+		n.takeover(p, sp)
 		sp.id = parent
 		n.peers[parent] = sp
 		n.insertID(parent)
@@ -239,6 +248,7 @@ func (n *Network) Leave(id kautz.Str) error {
 		delete(affected, id)
 		delete(affected, sib)
 		n.refreshAll(affected)
+		n.repairAround(id, sib, parent)
 		return nil
 	}
 
@@ -264,7 +274,7 @@ func (n *Network) Leave(id kautz.Str) error {
 	delete(n.peers, u0)
 	n.removeID(u1)
 	delete(n.peers, u1)
-	free.moveAllObjects(keep)
+	n.takeover(free, keep)
 	keep.id = parent
 	n.peers[parent] = keep
 	n.insertID(parent)
@@ -273,7 +283,7 @@ func (n *Network) Leave(id kautz.Str) error {
 	n.removeID(id)
 	delete(n.peers, id)
 	free.id = id
-	p.moveAllObjects(free)
+	n.takeover(p, free)
 	n.peers[id] = free
 	n.insertID(id)
 
@@ -282,7 +292,21 @@ func (n *Network) Leave(id kautz.Str) error {
 	delete(affected, u0)
 	delete(affected, u1)
 	n.refreshAll(affected)
+	n.repairAround(u0, u1, parent, id)
 	return nil
+}
+
+// takeover moves src's whole store into dst for a departure or merge. On a
+// replicated network the stores may overlap — dst often already holds a
+// replica copy of src's region (the trie sibling is usually the first
+// successor) — so the move takes the multiset maximum; without replication
+// the stores are disjoint and the plain merge is kept byte for byte.
+func (n *Network) takeover(src, dst *Peer) {
+	if n.replicas > 1 {
+		src.absorbAllObjects(dst)
+	} else {
+		src.moveAllObjects(dst)
+	}
 }
 
 // leafSibling returns the identifier of id's trie sibling if that sibling
@@ -368,27 +392,48 @@ func (n *Network) OwnerOf(objectID kautz.Str) (kautz.Str, error) {
 	return "", fmt.Errorf("%w: no owner for %q", ErrCorrupt, objectID)
 }
 
-// PublishAt stores obj under objectID on its owning peer directly (without
-// routing) and returns the owner. Routing-accounted publication is provided
-// by the query engine's Lookup.
+// PublishAt stores obj under objectID on every member of its region's
+// replica group directly (without routing) and returns the owner. The
+// fan-out applies member by member in placement order (owner first) under
+// each member's own store lock, so it runs concurrently with queries and
+// other publishes; a reader racing the fan-out may observe the object on
+// some members before others. Routing-accounted publication is provided by
+// the query engine's Lookup.
 func (n *Network) PublishAt(objectID kautz.Str, obj Object) (kautz.Str, error) {
 	owner, err := n.OwnerOf(objectID)
 	if err != nil {
 		return "", err
 	}
-	n.peers[owner].addObject(objectID, obj)
+	if n.replicas == 1 {
+		n.peers[owner].addObject(objectID, obj)
+		return owner, nil
+	}
+	for _, id := range n.groupIDs(owner) {
+		n.peers[id].addObject(objectID, obj)
+	}
 	return owner, nil
 }
 
-// UnpublishAt removes one stored occurrence of obj under objectID from its
-// owning peer and returns the owner. It returns ErrNoSuchObject when no
-// matching object is stored there.
+// UnpublishAt removes one stored occurrence of obj under objectID from
+// every member of its region's replica group and returns the owner. It
+// returns ErrNoSuchObject when no member stored a matching object. Like
+// PublishAt, the fan-out applies member by member in placement order.
 func (n *Network) UnpublishAt(objectID kautz.Str, obj Object) (kautz.Str, error) {
 	owner, err := n.OwnerOf(objectID)
 	if err != nil {
 		return "", err
 	}
-	if !n.peers[owner].removeObject(objectID, obj) {
+	removed := false
+	if n.replicas == 1 {
+		removed = n.peers[owner].removeObject(objectID, obj)
+	} else {
+		for _, id := range n.groupIDs(owner) {
+			if n.peers[id].removeObject(objectID, obj) {
+				removed = true
+			}
+		}
+	}
+	if !removed {
 		return "", fmt.Errorf("%w: %q at %q", ErrNoSuchObject, obj.Name, objectID)
 	}
 	return owner, nil

@@ -35,10 +35,12 @@
 package fissione
 
 import (
+	"cmp"
 	"fmt"
 	"slices"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"armada/internal/kautz"
 )
@@ -56,20 +58,29 @@ type Object struct {
 // route using only these tables.
 //
 // The store is an ordered index: a slice of StoredObject sorted by
-// (ObjectID, Name). Ordering makes every region scan a binary search plus a
-// contiguous walk — O(log n + k) for k results — and makes prefix moves
-// (splits, merges) contiguous slice operations. ObjectIDs all have the
-// network's fixed length k, so plain lexicographic comparison orders them
-// and every Kautz region and identifier prefix denotes one contiguous run.
+// (ObjectID, Name, Values). Ordering makes every region scan a binary
+// search plus a contiguous walk — O(log n + k) for k results — and makes
+// prefix moves (splits, merges) contiguous slice operations. ObjectIDs all
+// have the network's fixed length k, so plain lexicographic comparison
+// orders them and every Kautz region and identifier prefix denotes one
+// contiguous run. The Values tie-break makes the order canonical: two
+// stores holding the same multiset of objects are element-for-element
+// identical regardless of insertion interleaving, which is what lets a
+// replica set be compared byte for byte.
 type Peer struct {
 	id  kautz.Str
 	out []kautz.Str
 	in  []kautz.Str
 
+	// served counts region scans this peer has answered as the serving
+	// member of a replica group — the load signal of the least-loaded read
+	// policy and the read-spread metric.
+	served atomic.Int64
+
 	// mu guards store. Routing-table fields above are only written during
 	// topology mutation, which excludes all other operations externally.
 	mu    sync.RWMutex
-	store []StoredObject // ascending (ObjectID, Name)
+	store []StoredObject // ascending (ObjectID, Name, Values)
 }
 
 func newPeer(id kautz.Str) *Peer {
@@ -96,13 +107,28 @@ func (p *Peer) InCopy() []kautz.Str { return append([]kautz.Str(nil), p.in...) }
 // Degree returns the peer's out-degree.
 func (p *Peer) Degree() int { return len(p.out) }
 
-// storedLess orders the index by (ObjectID, Name).
-func storedLess(a, b StoredObject) bool {
-	if a.ObjectID != b.ObjectID {
-		return a.ObjectID < b.ObjectID
+// ServedReads returns how many region scans this peer has answered as a
+// replica group's serving member.
+func (p *Peer) ServedReads() int64 { return p.served.Load() }
+
+// NoteServed records one served region scan.
+func (p *Peer) NoteServed() { p.served.Add(1) }
+
+// storedCompare is the canonical total order of the index: (ObjectID,
+// Name, Values lexicographic). Fully equal elements (duplicate
+// publications) compare equal.
+func storedCompare(a, b StoredObject) int {
+	if c := cmp.Compare(a.ObjectID, b.ObjectID); c != 0 {
+		return c
 	}
-	return a.Object.Name < b.Object.Name
+	if c := cmp.Compare(a.Object.Name, b.Object.Name); c != 0 {
+		return c
+	}
+	return slices.Compare(a.Object.Values, b.Object.Values)
 }
+
+// storedLess orders the index by storedCompare.
+func storedLess(a, b StoredObject) bool { return storedCompare(a, b) < 0 }
 
 // lowerBound returns the first index i with (store[i].ObjectID,
 // store[i].Name) >= (id, name). The caller holds p.mu.
@@ -116,12 +142,14 @@ func (p *Peer) lowerBound(id kautz.Str, name string) int {
 	})
 }
 
-// addObject stores obj under objectID on this peer.
+// addObject stores obj under objectID on this peer, at its canonical
+// position.
 func (p *Peer) addObject(objectID kautz.Str, obj Object) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	i := p.lowerBound(objectID, obj.Name)
-	p.store = slices.Insert(p.store, i, StoredObject{ObjectID: objectID, Object: obj})
+	so := StoredObject{ObjectID: objectID, Object: obj}
+	i := sort.Search(len(p.store), func(i int) bool { return storedCompare(p.store[i], so) >= 0 })
+	p.store = slices.Insert(p.store, i, so)
 }
 
 // removeObject deletes one stored occurrence of the object under objectID
@@ -277,6 +305,84 @@ func (p *Peer) moveAllObjects(dst *Peer) {
 	defer lockPair(p, dst)()
 	dst.store = mergeStored(dst.store, p.store)
 	p.store = nil
+}
+
+// absorbAllObjects moves the peer's whole store into dst taking the
+// multiset maximum of the two stores instead of their sum: a run held by
+// both peers collapses to one copy instead of doubling. This is the
+// takeover move on replicated networks, where the absorbing peer often
+// already holds a replica of the mover's region — copies within one group
+// are identical, so keeping the maximum loses nothing (and preserves
+// genuine duplicate publications, which are replicated at equal
+// multiplicity everywhere).
+func (p *Peer) absorbAllObjects(dst *Peer) {
+	defer lockPair(p, dst)()
+	dst.store = unionMax(dst.store, p.store)
+	p.store = nil
+}
+
+// copyPrefixRun returns a copy of the peer's contiguous run of objects
+// whose ObjectID starts with prefix. Object values are aliased, not deep
+// copied — replica copies of one object share its value slice, which is
+// safe because stored values are never mutated in place.
+func (p *Peer) copyPrefixRun(prefix kautz.Str) []StoredObject {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	lo, hi := p.prefixRange(prefix)
+	if lo == hi {
+		return nil
+	}
+	return append([]StoredObject(nil), p.store[lo:hi]...)
+}
+
+// setPrefixRun replaces the peer's run for prefix with the given canonical
+// run, returning how many of run's elements the peer did not already hold
+// (the objects genuinely copied onto it). run must ascend storedCompare and
+// contain only IDs with the prefix.
+func (p *Peer) setPrefixRun(prefix kautz.Str, run []StoredObject) (added int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	lo, hi := p.prefixRange(prefix)
+	added = diffCount(run, p.store[lo:hi])
+	if added == 0 && len(run) == hi-lo {
+		return 0 // identical content — the common case after churn
+	}
+	p.store = slices.Concat(p.store[:lo:lo], run, p.store[hi:])
+	return added
+}
+
+// dropPrefixRun deletes the peer's run for prefix, returning how many
+// objects it removed.
+func (p *Peer) dropPrefixRun(prefix kautz.Str) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	lo, hi := p.prefixRange(prefix)
+	if lo == hi {
+		return 0
+	}
+	p.store = slices.Delete(p.store, lo, hi)
+	return hi - lo
+}
+
+// diffCount returns how many elements of a (a sorted multiset) are absent
+// from b (also sorted): the multiset difference |a \ b|.
+func diffCount(a, b []StoredObject) int {
+	missing := 0
+	for len(a) > 0 {
+		if len(b) == 0 {
+			return missing + len(a)
+		}
+		switch c := storedCompare(a[0], b[0]); {
+		case c < 0:
+			missing++
+			a = a[1:]
+		case c > 0:
+			b = b[1:]
+		default:
+			a, b = a[1:], b[1:]
+		}
+	}
+	return missing
 }
 
 // clearStore discards every stored object (a crash-stop losing its data),

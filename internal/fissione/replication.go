@@ -1,0 +1,280 @@
+package fissione
+
+import (
+	"fmt"
+	"sort"
+
+	"armada/internal/kautz"
+)
+
+// Replica groups.
+//
+// With a replication degree r > 1, each leaf region is owned by a group of
+// r peers: the owner (the unique peer whose identifier prefixes the
+// region's ObjectIDs) plus its r−1 successors in the sorted identifier
+// order. Sorted identifier order is the DFS order of the partition trie,
+// so the successors are the owner's trie siblings and their descendants —
+// the deterministic, locality-preserving placement D3-Tree-style overlays
+// use. Publishes and unpublishes fan out to every group member, owner
+// first; reads may be served by any member (the query engine's read
+// policies), because every member holds a byte-identical copy of the
+// region's objects.
+//
+// Group membership is a pure function of the current identifier set, so a
+// topology change (split, merge, relocation, crash) shifts membership for
+// the owners near the touched positions. Each mutation therefore ends with
+// a repair pass over that neighborhood: the authoritative content of every
+// affected region is reassembled as the multiset union of the surviving
+// copies, installed on every current member and dropped from every former
+// member. A crash-stop loses nothing as long as one group member survives
+// it — with mutations serialized (they require external exclusion), that
+// is every single-crash sequence.
+
+// SetReplicas sets the network's replication degree and synchronously
+// places (or removes) copies so that every region is replicated on exactly
+// min(r, Size()) peers. Like topology mutation, it requires external
+// exclusion against every other operation.
+func (n *Network) SetReplicas(r int) error {
+	if r < 1 {
+		return fmt.Errorf("fissione: replication degree %d < 1", r)
+	}
+	n.replicas = r
+	n.syncReplicas()
+	return nil
+}
+
+// Replicas returns the configured replication degree (1 = no replication).
+func (n *Network) Replicas() int { return n.replicas }
+
+// ReReplications returns the total number of objects copied between peers
+// by churn repair since the network was built (provisioning by SetReplicas
+// is not counted).
+func (n *Network) ReReplications() int64 { return n.reRepl.Load() }
+
+// effectiveReplicas caps the degree at the network size.
+func (n *Network) effectiveReplicas() int {
+	if n.replicas < len(n.ids) {
+		return n.replicas
+	}
+	return len(n.ids)
+}
+
+// idPos returns the position of id in the sorted identifier index — or,
+// for an id no longer present, its former neighborhood (the insertion
+// position).
+func (n *Network) idPos(id kautz.Str) int {
+	i := sort.Search(len(n.ids), func(i int) bool { return n.ids[i] >= id })
+	if i == len(n.ids) {
+		i = 0 // circular: past the end is the start's neighborhood
+	}
+	return i
+}
+
+// groupIDs returns the identifiers of the peers owning a copy of owner's
+// region: owner itself followed by its effectiveReplicas−1 successors in
+// circular sorted order.
+func (n *Network) groupIDs(owner kautz.Str) []kautz.Str {
+	r := n.effectiveReplicas()
+	out := make([]kautz.Str, 0, r)
+	pos := n.idPos(owner)
+	for j := 0; j < r; j++ {
+		out = append(out, n.ids[(pos+j)%len(n.ids)])
+	}
+	return out
+}
+
+// AppendGroupPeers appends owner's replica group (owner first, replicas in
+// placement order) to dst and returns the extended slice; hot paths bring
+// their own buffer and stay allocation-free. owner must be a peer. Safe
+// for concurrent use while the topology is stable.
+func (n *Network) AppendGroupPeers(dst []*Peer, owner kautz.Str) []*Peer {
+	pos := n.idPos(owner)
+	r := n.effectiveReplicas()
+	for j := 0; j < r; j++ {
+		dst = append(dst, n.peers[n.ids[(pos+j)%len(n.ids)]])
+	}
+	return dst
+}
+
+// repairAround restores the replica placement invariant after a topology
+// mutation that touched the given identifiers (inserted, removed or
+// renamed). Only owners whose groups can have shifted — those within
+// replicas+2 circular positions of a touched identifier — are repaired;
+// the margin covers every single-event membership move (splits and merges
+// shift positions by one, relocations move data together with the adopted
+// identifier, and a crashed peer's region reappears at most one position
+// away from its replicas).
+func (n *Network) repairAround(touched ...kautz.Str) {
+	if n.replicas <= 1 || len(touched) == 0 {
+		return
+	}
+	margin := n.effectiveReplicas() + 2
+	owners := make(map[kautz.Str]struct{})
+	size := len(n.ids)
+	for _, id := range touched {
+		pos := n.idPos(id)
+		for d := -margin; d <= margin; d++ {
+			owners[n.ids[((pos+d)%size+size)%size]] = struct{}{}
+		}
+	}
+	for owner := range owners {
+		n.repairOwner(owner)
+	}
+}
+
+// repairOwner reassembles the authoritative content of owner's region from
+// every copy in the owner's positional neighborhood, installs it on every
+// current group member and drops it from every neighbor that is no longer
+// one. Mutations run under external exclusion, so all copies are snapshots
+// of the same quiesced history: their multiset union (max multiplicity per
+// object) is exactly the set of objects that survive.
+func (n *Network) repairOwner(owner kautz.Str) {
+	margin := n.effectiveReplicas() + 2
+	pos := n.idPos(owner)
+	size := len(n.ids)
+
+	member := make(map[kautz.Str]bool)
+	for _, id := range n.groupIDs(owner) {
+		member[id] = true
+	}
+
+	// Candidates: the circular window around the owner where copies of its
+	// region can live (current members, former members, and peers that
+	// inherited a former member's store wholesale).
+	seen := make(map[kautz.Str]struct{}, 2*margin+1)
+	var auth []StoredObject
+	candidates := make([]kautz.Str, 0, 2*margin+1)
+	for d := -margin; d <= margin; d++ {
+		id := n.ids[((pos+d)%size+size)%size]
+		if _, dup := seen[id]; dup {
+			continue
+		}
+		seen[id] = struct{}{}
+		candidates = append(candidates, id)
+		if run := n.peers[id].copyPrefixRun(owner); len(run) > 0 {
+			auth = unionMax(auth, run)
+		}
+	}
+
+	for _, id := range candidates {
+		if member[id] {
+			n.reRepl.Add(int64(n.peers[id].setPrefixRun(owner, auth)))
+		} else {
+			n.peers[id].dropPrefixRun(owner)
+		}
+	}
+}
+
+// unionMax merges two canonical-sorted multisets taking the maximum
+// multiplicity of each distinct element — the union of two snapshots of
+// the same replicated run, possibly with different suffixes of history
+// applied.
+func unionMax(a, b []StoredObject) []StoredObject {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]StoredObject, 0, max(len(a), len(b)))
+	for len(a) > 0 && len(b) > 0 {
+		switch c := storedCompare(a[0], b[0]); {
+		case c < 0:
+			out = append(out, a[0])
+			a = a[1:]
+		case c > 0:
+			out = append(out, b[0])
+			b = b[1:]
+		default:
+			out = append(out, a[0])
+			a, b = a[1:], b[1:]
+		}
+	}
+	return append(append(out, a...), b...)
+}
+
+// syncReplicas rebuilds the whole placement for the current degree: every
+// peer keeps only the runs it is entitled to, then every owner's primary
+// run is copied to its group. Used by SetReplicas on a stable network (the
+// owners hold their primaries, so they are the single source of truth).
+func (n *Network) syncReplicas() {
+	for _, id := range n.ids {
+		p := n.peers[id]
+		for _, prefix := range n.foreignRunPrefixes(p) {
+			if !containsID(n.groupIDs(prefix), id) {
+				p.dropPrefixRun(prefix)
+			}
+		}
+	}
+	if n.replicas <= 1 {
+		return
+	}
+	for _, owner := range n.ids {
+		run := n.peers[owner].copyPrefixRun(owner)
+		for _, id := range n.groupIDs(owner)[1:] {
+			n.peers[id].setPrefixRun(owner, run)
+		}
+	}
+}
+
+// foreignRunPrefixes returns the owner identifiers of every run in p's
+// store other than p's own region, in store order.
+func (n *Network) foreignRunPrefixes(p *Peer) []kautz.Str {
+	var out []kautz.Str
+	store := p.AllObjects()
+	for i := 0; i < len(store); {
+		owner, err := n.OwnerOf(store[i].ObjectID)
+		if err != nil {
+			i++ // unreachable on an audited cover; skip defensively
+			continue
+		}
+		if owner != p.id {
+			out = append(out, owner)
+		}
+		for i < len(store) && store[i].ObjectID.HasPrefix(owner) {
+			i++
+		}
+	}
+	return out
+}
+
+// CheckReplicas verifies the replica placement invariant: every group
+// member's copy of its owner's region is byte-for-byte identical to the
+// owner's, and no peer stores an object of a region whose group it does
+// not belong to. With a degree of 1 it verifies the single-owner
+// invariant: every peer stores only its own region's objects.
+func (n *Network) CheckReplicas() error {
+	for _, owner := range n.ids {
+		group := n.groupIDs(owner)
+		own := n.peers[owner].copyPrefixRun(owner)
+		for _, id := range group[1:] {
+			got := n.peers[id].copyPrefixRun(owner)
+			if !equalStored(got, own) {
+				return fmt.Errorf("fissione: replica %q of region %q diverged: holds %d objects, owner holds %d",
+					id, owner, len(got), len(own))
+			}
+		}
+	}
+	for _, id := range n.ids {
+		p := n.peers[id]
+		for _, prefix := range n.foreignRunPrefixes(p) {
+			if !containsID(n.groupIDs(prefix), id) {
+				return fmt.Errorf("fissione: %q stores objects of region %q but is not in its replica group", id, prefix)
+			}
+		}
+	}
+	return nil
+}
+
+// equalStored compares two canonical runs element for element.
+func equalStored(a, b []StoredObject) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if storedCompare(a[i], b[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -18,6 +18,7 @@ type config struct {
 	attrs    []AttributeSpace
 	balanced bool
 	async    bool
+	replicas int
 }
 
 // Option configures NewNetwork.
@@ -86,6 +87,24 @@ func WithBalancedBuild() Option {
 	})
 }
 
+// WithReplication stores every object on k peers — the region's owner
+// plus its k−1 trie-order successors — instead of one. Publishes and
+// unpublishes fan out to the whole group, crashed peers' objects are
+// restored from surviving replicas during self-stabilization, and range
+// deliveries can be served by any group member (see WithReadPolicy). The
+// default, k = 1, is the paper's single-owner model and preserves the
+// unreplicated data path exactly. Degrees are capped at 16; the effective
+// degree never exceeds the network size.
+func WithReplication(k int) Option {
+	return optionFunc(func(c *config) error {
+		if k < 1 || k > 16 {
+			return fmt.Errorf("%w: replication degree %d outside [1, 16]", errBadOption, k)
+		}
+		c.replicas = k
+		return nil
+	})
+}
+
 // WithAsyncQueries executes queries on the goroutine-per-peer engine
 // instead of the deterministic synchronous engine. Results and metrics are
 // identical; the asynchronous engine exists to demonstrate and test the
@@ -99,9 +118,10 @@ func WithAsyncQueries() Option {
 
 func buildConfig(opts []Option) (config, error) {
 	c := config{
-		k:     32,
-		seed:  1,
-		attrs: []AttributeSpace{{Low: 0, High: 1000}},
+		k:        32,
+		seed:     1,
+		attrs:    []AttributeSpace{{Low: 0, High: 1000}},
+		replicas: 1,
 	}
 	for _, o := range opts {
 		if err := o.apply(&c); err != nil {

@@ -38,11 +38,48 @@ func (k QueryKind) String() string {
 	}
 }
 
+// ReadPolicy selects which member of a replica group serves each delivery
+// of a query on a replicated network (see WithReplication). On an
+// unreplicated network every policy behaves like ReadPrimary.
+type ReadPolicy int
+
+const (
+	// ReadDefault uses the network's default: round-robin when the network
+	// replicates, primary-only otherwise.
+	ReadDefault ReadPolicy = iota
+	// ReadPrimary always serves from the region's owner, exactly like an
+	// unreplicated network.
+	ReadPrimary
+	// ReadRoundRobin rotates deliveries through each region's replica
+	// group, spreading hot-region read load.
+	ReadRoundRobin
+	// ReadLeastLoaded serves each delivery from the group member that has
+	// served the fewest scans so far.
+	ReadLeastLoaded
+)
+
+// String names the policy.
+func (p ReadPolicy) String() string {
+	switch p {
+	case ReadDefault:
+		return "default"
+	case ReadPrimary:
+		return "primary"
+	case ReadRoundRobin:
+		return "round-robin"
+	case ReadLeastLoaded:
+		return "least-loaded"
+	default:
+		return fmt.Sprintf("ReadPolicy(%d)", int(p))
+	}
+}
+
 // Hop is one observed overlay message of a traced query.
 type Hop struct {
 	// From is the peer that processed the message; To is the forward's
 	// target. A delivery (the query reaching a destination peer) has
-	// To == From and Remaining == 0.
+	// Remaining == 0; its To names the replica that served it — equal to
+	// From unless a read policy redirected the scan.
 	From, To string
 	// Depth is the hop count from the issuer; Remaining is the number of
 	// hops left to the destination level of the forward routing tree.
@@ -59,8 +96,14 @@ type Query struct {
 	// Kind selects the algorithm. Zero is inferred: KindLookup when Name
 	// is set, KindTopK when K is set, KindRange otherwise.
 	Kind QueryKind
-	// Name is the exact-match target (KindLookup only).
+	// Name is the exact-match target (KindLookup only): the lookup routes
+	// to Kautz_hash(Name), where PublishExact stores value-less objects.
 	Name string
+	// Values is the exact-match target as an attribute-value point
+	// (KindLookup with an empty Name): the lookup routes to the ObjectID
+	// the order-preserving naming assigns to these values — where Publish
+	// stores its objects — and returns every object published under it.
+	Values []float64
 	// Ranges carries one queried interval per configured attribute
 	// (all kinds except KindLookup).
 	Ranges []Range
@@ -80,6 +123,9 @@ type Query struct {
 	// strictly greater than it match. Pass a previous Result's
 	// NextOffsetID.
 	OffsetID string
+	// ReadPolicy selects the replica serving each delivery on a replicated
+	// network. Zero (ReadDefault) means the network's default.
+	ReadPolicy ReadPolicy
 	// Trace, when non-nil, observes every overlay message of the query.
 	// Queries on an async network may invoke it concurrently.
 	Trace func(Hop)
@@ -117,9 +163,25 @@ func WithLimit(n int) QueryOption { return func(q *Query) { q.Limit = n } }
 // ObjectID — normally the previous page's Result.NextOffsetID.
 func WithOffsetID(id string) QueryOption { return func(q *Query) { q.OffsetID = id } }
 
+// WithReadPolicy selects the replica-serving policy for this query on a
+// replicated network (no effect without WithReplication).
+func WithReadPolicy(p ReadPolicy) QueryOption { return func(q *Query) { q.ReadPolicy = p } }
+
 // NewLookup builds an exact-match lookup query for name.
 func NewLookup(name string, opts ...QueryOption) Query {
 	q := Query{Kind: KindLookup, Name: name}
+	for _, o := range opts {
+		o(&q)
+	}
+	return q
+}
+
+// NewValueLookup builds an exact-match lookup for the ObjectID the
+// order-preserving naming assigns to the given attribute values (one per
+// configured attribute) — the way to look up objects stored by Publish,
+// which are keyed by their values, not their names.
+func NewValueLookup(values []float64, opts ...QueryOption) Query {
+	q := Query{Kind: KindLookup, Values: append([]float64(nil), values...)}
 	for _, o := range opts {
 		o(&q)
 	}
@@ -142,7 +204,7 @@ func (q Query) kind() QueryKind {
 	if q.Kind != 0 {
 		return q.Kind
 	}
-	if q.Name != "" {
+	if q.Name != "" || len(q.Values) > 0 {
 		return KindLookup
 	}
 	if q.K > 0 {

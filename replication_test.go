@@ -1,0 +1,338 @@
+package armada
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestReplicatedK1Identical verifies the migration contract: an explicit
+// WithReplication(1) network behaves byte-for-byte like a default one.
+func TestReplicatedK1Identical(t *testing.T) {
+	a, err := NewNetwork(120, WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewNetwork(120, WithSeed(9), WithReplication(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		name, v := fmt.Sprintf("o-%03d", i), float64(i*3%997)
+		if err := a.Publish(name, v); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Publish(name, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := NewRange([]Range{{Low: 100, High: 600}}, WithIssuer(a.PeerIDs()[0]))
+	ra, err := a.Do(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.Do(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ra, rb) {
+		t.Fatal("WithReplication(1) result differs from the default network's")
+	}
+	if ra.Stats.ReplicaServed != 0 {
+		t.Fatalf("unreplicated query reports %d replica-served deliveries", ra.Stats.ReplicaServed)
+	}
+}
+
+// TestReadPoliciesExactAndSpread verifies that every read policy returns
+// the same objects (pagination included) and that round-robin genuinely
+// spreads deliveries onto replicas.
+func TestReadPoliciesExactAndSpread(t *testing.T) {
+	net, err := NewNetwork(150, WithSeed(11), WithReplication(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < 600; i++ {
+		if err := net.Publish(fmt.Sprintf("obj-%04d", i), rng.Float64()*1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	issuer := net.PeerIDs()[3]
+	ranges := []Range{{Low: 50, High: 700}}
+
+	names := func(res *Result) []string {
+		out := make([]string, len(res.Objects))
+		for i, o := range res.Objects {
+			out[i] = o.ID + "/" + o.Name
+		}
+		return out
+	}
+	primary, err := net.Do(context.Background(), NewRange(ranges, WithIssuer(issuer), WithReadPolicy(ReadPrimary)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if primary.Stats.ReplicaServed != 0 {
+		t.Fatalf("primary policy served %d deliveries from replicas", primary.Stats.ReplicaServed)
+	}
+	spread := 0
+	for _, pol := range []ReadPolicy{ReadDefault, ReadRoundRobin, ReadLeastLoaded} {
+		res, err := net.Do(context.Background(), NewRange(ranges, WithIssuer(issuer), WithReadPolicy(pol)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(names(res), names(primary)) {
+			t.Fatalf("policy %v returned a different object set than primary", pol)
+		}
+		spread += res.Stats.ReplicaServed
+		// Redirects are accounted as extra messages, never hidden.
+		if res.Stats.Messages < primary.Stats.Messages ||
+			res.Stats.Messages != primary.Stats.Messages+res.Stats.ReplicaServed {
+			t.Fatalf("policy %v: messages %d, primary %d, replica-served %d — redirect accounting broken",
+				pol, res.Stats.Messages, primary.Stats.Messages, res.Stats.ReplicaServed)
+		}
+		// Flood must agree with the pruned descent under every policy.
+		fl, err := net.Do(context.Background(), NewRange(ranges, WithIssuer(issuer), WithReadPolicy(pol), WithFlood()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(names(fl), names(primary)) {
+			t.Fatalf("policy %v: flood result diverged from pruned range", pol)
+		}
+	}
+	if spread == 0 {
+		t.Fatal("no delivery was ever served by a replica across round-robin and least-loaded queries")
+	}
+
+	// Paginated walks must concatenate to the full result under spreading.
+	var walked []string
+	q := NewRange(ranges, WithIssuer(issuer), WithLimit(37), WithReadPolicy(ReadRoundRobin))
+	for {
+		res, err := net.Do(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		walked = append(walked, names(res)...)
+		if res.NextOffsetID == "" {
+			break
+		}
+		q.OffsetID = res.NextOffsetID
+	}
+	if !reflect.DeepEqual(walked, names(primary)) {
+		t.Fatalf("paged walk under round-robin diverged: %d objects, want %d", len(walked), len(primary.Objects))
+	}
+}
+
+// TestValueLookup covers the value-keyed exact-match query: it finds
+// objects Publish stored (name lookups only see PublishExact objects).
+func TestValueLookup(t *testing.T) {
+	net, err := NewNetwork(60, WithSeed(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Publish("alpha", 123.5); err != nil {
+		t.Fatal(err)
+	}
+	res, err := net.Do(context.Background(), NewValueLookup([]float64{123.5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, o := range res.Objects {
+		if o.Name == "alpha" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("value lookup for 123.5 did not find alpha (objects: %v)", res.Objects)
+	}
+	if _, err := net.Do(context.Background(), NewValueLookup([]float64{1, 2})); err == nil {
+		t.Fatal("value lookup with wrong arity accepted")
+	}
+	if _, err := net.Do(context.Background(), Query{Kind: KindLookup}); err == nil {
+		t.Fatal("lookup with neither name nor values accepted")
+	}
+}
+
+// TestReplicatedChurnStormNoMisses is the crash-stop durability test: on a
+// 2-replicated network, concurrent publishers, value-lookups and
+// unpublishers run against Join/Leave/Fail churn, and not a single
+// unpublish may miss, not a single lookup may come back empty — replication
+// must make crash loss unobservable. Run under -race in CI.
+func TestReplicatedChurnStormNoMisses(t *testing.T) {
+	net, err := NewNetwork(150, WithSeed(31), WithReplication(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The live pool: objects fully published and not yet claimed for
+	// unpublishing, so no two operations ever race on one object.
+	type rec struct {
+		name string
+		val  float64
+	}
+	var (
+		poolMu sync.Mutex
+		pool   []rec
+	)
+	put := func(r rec) { poolMu.Lock(); pool = append(pool, r); poolMu.Unlock() }
+	take := func(rng *rand.Rand) (rec, bool) {
+		poolMu.Lock()
+		defer poolMu.Unlock()
+		if len(pool) == 0 {
+			return rec{}, false
+		}
+		i := rng.Intn(len(pool))
+		r := pool[i]
+		pool[i] = pool[len(pool)-1]
+		pool = pool[:len(pool)-1]
+		return r, true
+	}
+	peek := func(rng *rand.Rand) (rec, bool) {
+		poolMu.Lock()
+		defer poolMu.Unlock()
+		if len(pool) == 0 {
+			return rec{}, false
+		}
+		return pool[rng.Intn(len(pool))], true
+	}
+
+	seedRng := rand.New(rand.NewSource(32))
+	for i := 0; i < 400; i++ {
+		r := rec{name: fmt.Sprintf("seed-%04d", i), val: seedRng.Float64() * 1000}
+		if err := net.Publish(r.name, r.val); err != nil {
+			t.Fatal(err)
+		}
+		put(r)
+	}
+
+	var (
+		churner   sync.WaitGroup
+		workers   sync.WaitGroup
+		churnDone atomic.Bool
+		misses    atomic.Int64
+		lookups   atomic.Int64
+		seq       atomic.Int64
+	)
+
+	// Churner: joins, leaves and crashes; each event triggers synchronous
+	// re-replication under the write lock.
+	churner.Add(1)
+	go func() {
+		defer churner.Done()
+		rng := rand.New(rand.NewSource(33))
+		for i := 0; i < 120; i++ {
+			switch x := rng.Intn(4); {
+			case x < 2 || net.Size() < 60:
+				if _, err := net.Join(); err != nil {
+					t.Errorf("join: %v", err)
+					return
+				}
+			case x == 2:
+				if err := net.Leave(net.RandomPeer()); err != nil &&
+					!errors.Is(err, ErrNoSuchPeer) && !errors.Is(err, ErrTooSmall) {
+					t.Errorf("leave: %v", err)
+					return
+				}
+			default:
+				if err := net.Fail(net.RandomPeer()); err != nil &&
+					!errors.Is(err, ErrNoSuchPeer) && !errors.Is(err, ErrTooSmall) {
+					t.Errorf("fail: %v", err)
+					return
+				}
+			}
+		}
+	}()
+
+	// Writers: publish new objects and unpublish pooled ones. Every
+	// unpublish must find its object — a miss is a durability violation.
+	for w := 0; w < 2; w++ {
+		workers.Add(1)
+		go func(seed int64) {
+			defer workers.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for !churnDone.Load() {
+				if rng.Intn(2) == 0 {
+					r := rec{name: fmt.Sprintf("live-%d", seq.Add(1)), val: rng.Float64() * 1000}
+					if err := net.Publish(r.name, r.val); err != nil {
+						t.Errorf("publish: %v", err)
+						return
+					}
+					put(r)
+				} else if r, ok := take(rng); ok {
+					if err := net.Unpublish(r.name, r.val); err != nil {
+						if errors.Is(err, ErrNoSuchObject) {
+							misses.Add(1)
+						} else {
+							t.Errorf("unpublish: %v", err)
+							return
+						}
+					}
+				}
+			}
+		}(int64(40 + w))
+	}
+
+	// Readers: value-lookups of live objects under the default (round-robin)
+	// policy; the object must be found whichever replica serves.
+	for q := 0; q < 2; q++ {
+		workers.Add(1)
+		go func(seed int64) {
+			defer workers.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for !churnDone.Load() {
+				r, ok := peek(rng)
+				if !ok {
+					continue
+				}
+				res, err := net.Do(context.Background(), NewValueLookup([]float64{r.val}))
+				if err != nil {
+					t.Errorf("lookup: %v", err)
+					return
+				}
+				found := false
+				for _, o := range res.Objects {
+					if o.Name == r.name {
+						found = true
+						break
+					}
+				}
+				// The object may have been legitimately unpublished between
+				// peek and lookup; only count a miss if it is still pooled.
+				if !found {
+					poolMu.Lock()
+					stillLive := false
+					for _, p := range pool {
+						if p.name == r.name {
+							stillLive = true
+							break
+						}
+					}
+					poolMu.Unlock()
+					if stillLive {
+						misses.Add(1)
+					}
+				}
+				lookups.Add(1)
+			}
+		}(int64(50 + q))
+	}
+
+	churner.Wait()
+	churnDone.Store(true)
+	workers.Wait()
+
+	if got := misses.Load(); got != 0 {
+		t.Fatalf("%d availability misses on a 2-replicated network (want 0)", got)
+	}
+	if lookups.Load() == 0 {
+		t.Error("no lookups completed during churn")
+	}
+	if err := net.Audit(); err != nil {
+		t.Fatalf("audit after replicated churn storm: %v", err)
+	}
+}

@@ -39,6 +39,14 @@ type Stats struct {
 	// Subregions is how many common-prefix subregions the query's Kautz
 	// region was split into (1–3).
 	Subregions int
+	// Deliveries counts destination arrivals, including any duplicates; it
+	// equals DestPeers when each destination is reached exactly once.
+	Deliveries int
+	// ReplicaServed counts deliveries served by a replica other than the
+	// region's owner — always 0 without replication or under ReadPrimary.
+	// Each redirect is included in Messages (and can extend Delay by one
+	// hop), so the paper's cost metrics stay honest under read spreading.
+	ReplicaServed int
 }
 
 // MesgRatio is Messages/DestPeers, the paper's per-destination message
@@ -93,10 +101,12 @@ type LookupResult struct {
 
 func statsOf(s core.Stats) Stats {
 	return Stats{
-		Delay:      s.Delay,
-		Messages:   s.Messages,
-		DestPeers:  s.DestPeers,
-		Subregions: s.Subregions,
+		Delay:         s.Delay,
+		Messages:      s.Messages,
+		DestPeers:     s.DestPeers,
+		Subregions:    s.Subregions,
+		Deliveries:    s.Deliveries,
+		ReplicaServed: s.ReplicaServed,
 	}
 }
 

@@ -39,14 +39,18 @@ var presets = []Scenario{
 	},
 	{
 		// Sustained mixed traffic while the overlay churns hard, including
-		// crash-stops that lose unreplicated objects — the regime the
-		// paper's stable-network delay bounds say nothing about.
-		Name:    "churn-heavy",
-		Peers:   400,
-		Preload: 1500,
-		Ops:     4000,
-		Mix:     Mix{Publish: 15, Unpublish: 10, Lookup: 15, Range: 55, TopK: 5},
-		Keys:    KeyDist{Kind: KeyUniform},
+		// crash-stops — the regime the paper's stable-network delay bounds
+		// say nothing about. Runs with 2-way replication so crashes lose
+		// nothing (availability_misses ~0, re_replications > 0); rerun with
+		// -replicas 1 for the unreplicated baseline, where crash losses
+		// surface as lookup/unpublish misses.
+		Name:     "churn-heavy",
+		Peers:    400,
+		Preload:  1500,
+		Ops:      4000,
+		Replicas: 2,
+		Mix:      Mix{Publish: 15, Unpublish: 10, Lookup: 15, Range: 55, TopK: 5},
+		Keys:     KeyDist{Kind: KeyUniform},
 		// Rates are high because an in-process run of this op budget lasts
 		// well under a second; they work out to roughly one churn event
 		// per ~7 completed operations.

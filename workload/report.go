@@ -26,9 +26,12 @@ func quantilesOf(s *stats.Sample) Quantiles {
 // OpReport summarizes one operation kind over the whole run.
 type OpReport struct {
 	// Count is the number of completed operations; Errors how many of
-	// them failed. Misses counts unpublishes whose target was already
-	// gone (crash churn loses unreplicated objects) — expected under
-	// churn, so kept apart from Errors.
+	// them failed. Misses counts availability misses — unpublishes and
+	// lookups whose target object was already gone because crash churn
+	// lost it (unreplicated networks only, in the absence of faults).
+	// They are an expected outcome under churn, not a fault, so they are
+	// kept strictly apart from Errors; replication (Scenario.Replicas ≥ 2)
+	// is measured precisely by driving them to zero.
 	Count  int `json:"count"`
 	Errors int `json:"errors"`
 	Misses int `json:"misses,omitempty"`
@@ -81,8 +84,10 @@ type Report struct {
 	Scenario   string `json:"scenario"`
 	Seed       int64  `json:"seed"`
 	Attributes int    `json:"attributes"`
-	StartPeers int    `json:"start_peers"`
-	EndPeers   int    `json:"end_peers"`
+	// Replicas is the network's replication degree (1 = unreplicated).
+	Replicas   int `json:"replicas"`
+	StartPeers int `json:"start_peers"`
+	EndPeers   int `json:"end_peers"`
 	// DurationSec is the measured wall-clock run time (excluding network
 	// build and preload).
 	DurationSec float64 `json:"duration_sec"`
@@ -98,7 +103,19 @@ type Report struct {
 	// an operation's Poisson arrival and a worker starting it — and
 	// Dropped the number of arrivals shed because the bounded queue was
 	// full. Both zero (and the former omitted) for closed-loop runs.
-	QueueWaitMs Quantiles  `json:"queue_wait_ms,omitzero"`
-	Dropped     int        `json:"dropped,omitempty"`
-	Intervals   []Snapshot `json:"intervals"`
+	QueueWaitMs Quantiles `json:"queue_wait_ms,omitzero"`
+	Dropped     int       `json:"dropped,omitempty"`
+	// AvailabilityMisses totals the per-op Misses: operations whose target
+	// object crash churn had destroyed. Nonzero only without replication.
+	AvailabilityMisses int `json:"availability_misses"`
+	// ReReplications is how many objects churn repair copied between peers
+	// to restore full replica groups during the run (replicated runs only).
+	ReReplications int64 `json:"re_replications,omitempty"`
+	// ReplicaReads counts query deliveries served by a non-primary
+	// replica, and ReplicaReadSpread is the per-query distribution of the
+	// fraction of deliveries a replica served (0 = all primary, 1 = all
+	// spread). Both present only on replicated runs.
+	ReplicaReads      int64      `json:"replica_reads,omitempty"`
+	ReplicaReadSpread Quantiles  `json:"replica_read_spread,omitzero"`
+	Intervals         []Snapshot `json:"intervals"`
 }

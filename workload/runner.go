@@ -26,7 +26,8 @@ type Runner struct {
 
 // New builds a Runner for the scenario (defaults filled, then validated)
 // against the given network, which must be configured with as many
-// attributes as the scenario declares.
+// attributes as the scenario declares and with the scenario's replication
+// degree.
 func New(net *armada.Network, sc Scenario) (*Runner, error) {
 	sc = sc.withDefaults()
 	if err := sc.validate(); err != nil {
@@ -36,11 +37,15 @@ func New(net *armada.Network, sc Scenario) (*Runner, error) {
 		return nil, fmt.Errorf("%w: scenario declares %d attributes, network has %d",
 			ErrBadScenario, len(sc.Attrs), net.Attributes())
 	}
+	if sc.Replicas != net.Replicas() {
+		return nil, fmt.Errorf("%w: scenario declares %d replicas, network has %d",
+			ErrBadScenario, sc.Replicas, net.Replicas())
+	}
 	return &Runner{net: net, sc: sc}, nil
 }
 
-// Execute builds the scenario's network (sc.Peers peers, sc.Attrs
-// spaces, sc.Seed), then runs the scenario on it — the one-call entry
+// Execute builds the scenario's network (sc.Peers peers, sc.Attrs spaces,
+// sc.Seed, sc.Replicas), then runs the scenario on it — the one-call entry
 // point the armada-load command uses.
 func Execute(ctx context.Context, sc Scenario) (*Report, error) {
 	sc = sc.withDefaults()
@@ -48,7 +53,8 @@ func Execute(ctx context.Context, sc Scenario) (*Report, error) {
 		return nil, err
 	}
 	net, err := armada.NewNetwork(sc.Peers,
-		armada.WithSeed(sc.Seed), armada.WithAttributes(sc.Attrs...))
+		armada.WithSeed(sc.Seed), armada.WithAttributes(sc.Attrs...),
+		armada.WithReplication(sc.Replicas))
 	if err != nil {
 		return nil, err
 	}
@@ -84,8 +90,9 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 	bgCtx, stopBG := context.WithCancel(ctx)
 	defer stopBG()
 
-	coll := &collector{}
+	coll := &collector{trackSpread: r.sc.Replicas > 1}
 	startPeers := r.net.Size()
+	startReRepl := r.net.ReReplications()
 	start := time.Now()
 
 	var bg sync.WaitGroup
@@ -126,7 +133,9 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 		return nil, fmt.Errorf("workload: run aborted: %w", err)
 	}
 	coll.takeSnapshot(elapsed, r.net.Size()) // final snapshot, always present
-	return r.report(elapsed, startPeers, coll), nil
+	rep := r.report(elapsed, startPeers, coll)
+	rep.ReReplications = r.net.ReReplications() - startReRepl
+	return rep, nil
 }
 
 // arrivals returns the acquire function workers call before each op.
@@ -232,21 +241,35 @@ func (r *Runner) execOp(ctx context.Context, smp *sampler, pool *keyPool, coll *
 		}
 		oc.record(start, err)
 	case OpLookup:
-		name, ok := pool.sampleName(smp.rng)
-		if !ok {
-			name = fmt.Sprintf("probe-%d", smp.rng.Int63())
+		// Look up a live object by its attribute values — the exact-match
+		// query for something Publish actually stored. With an empty pool,
+		// fall back to a name probe that exercises pure routing.
+		rec, fromPool := pool.sample(smp.rng)
+		var q armada.Query
+		if fromPool {
+			q = armada.NewValueLookup(rec.values)
+		} else {
+			q = armada.NewLookup(fmt.Sprintf("probe-%d", smp.rng.Int63()))
 		}
-		r.doQuery(ctx, armada.NewLookup(name), &coll.ops[OpLookup])
+		res := r.doQuery(ctx, q, &coll.ops[OpLookup], coll)
+		// The looked-up object missing from its ObjectID's result while the
+		// pool still considers it live means crash churn destroyed it — an
+		// availability miss, kept apart from errors. (Re-checking the pool
+		// filters the benign race of sampling a record that a concurrent
+		// unpublish then removed.)
+		if res != nil && fromPool && !containsObject(res.Objects, rec.name) && pool.hasName(rec.name) {
+			coll.ops[OpLookup].misses.Add(1)
+		}
 	case OpRange:
-		r.doQuery(ctx, armada.NewRange(smp.ranges(false)), &coll.ops[OpRange])
+		r.doQuery(ctx, armada.NewRange(smp.ranges(false)), &coll.ops[OpRange], coll)
 	case OpMultiRange:
-		r.doQuery(ctx, armada.NewRange(smp.ranges(true)), &coll.ops[OpMultiRange])
+		r.doQuery(ctx, armada.NewRange(smp.ranges(true)), &coll.ops[OpMultiRange], coll)
 	case OpTopK:
-		r.doQuery(ctx, armada.NewRange(smp.ranges(false), armada.WithTopK(r.sc.TopK)), &coll.ops[OpTopK])
+		r.doQuery(ctx, armada.NewRange(smp.ranges(false), armada.WithTopK(r.sc.TopK)), &coll.ops[OpTopK], coll)
 	case OpFlood:
-		r.doQuery(ctx, armada.NewRange(smp.ranges(false), armada.WithFlood()), &coll.ops[OpFlood])
+		r.doQuery(ctx, armada.NewRange(smp.ranges(false), armada.WithFlood()), &coll.ops[OpFlood], coll)
 	case OpRangePaged:
-		r.doPagedRange(ctx, smp, &coll.ops[OpRangePaged])
+		r.doPagedRange(ctx, smp, &coll.ops[OpRangePaged], coll)
 	}
 }
 
@@ -255,13 +278,14 @@ func (r *Runner) execOp(ctx context.Context, smp *sampler, pool *keyPool, coll *
 // operation: its latency spans all pages, hop metrics accumulate across
 // them (delay takes the max — pages could be issued concurrently), and the
 // per-page result sizes land in the matches-per-page sample.
-func (r *Runner) doPagedRange(ctx context.Context, smp *sampler, oc *opCollector) {
+func (r *Runner) doPagedRange(ctx context.Context, smp *sampler, oc *opCollector, coll *collector) {
 	ranges := smp.ranges(false)
 	start := time.Now()
 	var (
-		offset               string
-		matches, delay, msgs int
-		pageSizes, pageDests []int // flushed only when the whole walk succeeds
+		offset                    string
+		matches, delay, msgs      int
+		deliveries, replicaServed int
+		pageSizes, pageDests      []int // flushed only when the whole walk succeeds
 	)
 	for {
 		opts := []armada.QueryOption{armada.WithLimit(r.sc.PageLimit)}
@@ -281,6 +305,8 @@ func (r *Runner) doPagedRange(ctx context.Context, smp *sampler, oc *opCollector
 		if res.Stats.Delay > delay {
 			delay = res.Stats.Delay
 		}
+		deliveries += res.Stats.Deliveries
+		replicaServed += res.Stats.ReplicaServed
 		pageSizes = append(pageSizes, len(res.Objects))
 		pageDests = append(pageDests, res.Stats.DestPeers) // per page: the fan-out each page pays
 		if res.NextOffsetID == "" {
@@ -297,6 +323,7 @@ func (r *Runner) doPagedRange(ctx context.Context, smp *sampler, oc *opCollector
 		oc.perPage.AddInt(pageSizes[i])
 		oc.dest.AddInt(pageDests[i])
 	}
+	coll.noteReadSpread(deliveries, replicaServed)
 }
 
 func (r *Runner) doPublish(smp *sampler, pool *keyPool, oc *opCollector) {
@@ -309,19 +336,24 @@ func (r *Runner) doPublish(smp *sampler, pool *keyPool, oc *opCollector) {
 	}
 }
 
-func (r *Runner) doQuery(ctx context.Context, q armada.Query, oc *opCollector) {
+// doQuery runs one query, records its metrics and returns the result (nil
+// when the query failed or the run is shutting down).
+func (r *Runner) doQuery(ctx context.Context, q armada.Query, oc *opCollector, coll *collector) *armada.Result {
 	start := time.Now()
 	res, err := r.net.Do(ctx, q)
 	if err != nil && ctx.Err() != nil {
-		return // shutdown races are not workload errors
+		return nil // shutdown races are not workload errors
 	}
 	oc.record(start, err)
-	if err == nil {
-		oc.delay.AddInt(res.Stats.Delay)
-		oc.msgs.AddInt(res.Stats.Messages)
-		oc.dest.AddInt(res.Stats.DestPeers)
-		oc.matches.AddInt(len(res.Objects))
+	if err != nil {
+		return nil
 	}
+	oc.delay.AddInt(res.Stats.Delay)
+	oc.msgs.AddInt(res.Stats.Messages)
+	oc.dest.AddInt(res.Stats.DestPeers)
+	oc.matches.AddInt(len(res.Objects))
+	coll.noteReadSpread(res.Stats.Deliveries, res.Stats.ReplicaServed)
+	return res
 }
 
 // churn runs the merged Poisson join/leave/fail process until ctx ends.
@@ -407,6 +439,7 @@ func (r *Runner) report(elapsed time.Duration, startPeers int, coll *collector) 
 		Scenario:    r.sc.Name,
 		Seed:        r.sc.Seed,
 		Attributes:  len(r.sc.Attrs),
+		Replicas:    r.sc.Replicas,
 		StartPeers:  startPeers,
 		EndPeers:    r.net.Size(),
 		DurationSec: secs,
@@ -423,6 +456,10 @@ func (r *Runner) report(elapsed time.Duration, startPeers int, coll *collector) 
 	if r.sc.Arrival.RatePerSec > 0 {
 		rep.QueueWaitMs = quantilesOf(coll.queueWait.Snapshot())
 		rep.Dropped = int(coll.dropped.Load())
+	}
+	if r.sc.Replicas > 1 {
+		rep.ReplicaReads = coll.replicaReads.Load()
+		rep.ReplicaReadSpread = quantilesOf(coll.replicaSpread.Snapshot())
 	}
 	for k := OpKind(0); k < numOps; k++ {
 		oc := &coll.ops[k]
@@ -448,6 +485,7 @@ func (r *Runner) report(elapsed time.Duration, startPeers int, coll *collector) 
 		rep.Ops[k.String()] = op
 		rep.TotalOps += count
 		rep.TotalErrors += op.Errors
+		rep.AvailabilityMisses += op.Misses
 	}
 	if secs > 0 {
 		rep.Throughput = float64(rep.TotalOps) / secs
@@ -490,6 +528,14 @@ type collector struct {
 	queueWait stats.SafeSample
 	dropped   atomic.Int64
 
+	// Replica read spreading: per query, the fraction of deliveries served
+	// by a non-primary replica, plus the absolute count. Sampled only when
+	// trackSpread is set (replicated runs) — unreplicated runs would pay a
+	// lock and an O(ops) sample for all-zero data.
+	trackSpread   bool
+	replicaSpread stats.SafeSample
+	replicaReads  atomic.Int64
+
 	churnJoins  atomic.Int64
 	churnLeaves atomic.Int64
 	churnFails  atomic.Int64
@@ -501,6 +547,16 @@ type collector struct {
 	lastOps  int64
 	lastErrs int64
 	lastAt   time.Duration
+}
+
+// noteReadSpread records one query's replica read spread: the fraction of
+// its deliveries a non-primary replica served.
+func (c *collector) noteReadSpread(deliveries, replicaServed int) {
+	if !c.trackSpread || deliveries <= 0 {
+		return
+	}
+	c.replicaReads.Add(int64(replicaServed))
+	c.replicaSpread.Add(float64(replicaServed) / float64(deliveries))
 }
 
 func (c *collector) totals() (ops, errs int64) {
@@ -549,11 +605,13 @@ type pubRec struct {
 }
 
 // keyPool tracks the set of currently published objects across all
-// workers.
+// workers. names indexes the live records so availability checks
+// (hasName) need no scan.
 type keyPool struct {
-	seq  atomic.Int64
-	mu   sync.Mutex
-	recs []pubRec
+	seq   atomic.Int64
+	mu    sync.Mutex
+	recs  []pubRec
+	names map[string]struct{}
 }
 
 // nextName mints a unique object name.
@@ -563,7 +621,11 @@ func (p *keyPool) nextName() string {
 
 func (p *keyPool) add(rec pubRec) {
 	p.mu.Lock()
+	if p.names == nil {
+		p.names = make(map[string]struct{})
+	}
 	p.recs = append(p.recs, rec)
+	p.names[rec.name] = struct{}{}
 	p.mu.Unlock()
 }
 
@@ -579,17 +641,36 @@ func (p *keyPool) take(rng *rand.Rand) (pubRec, bool) {
 	last := len(p.recs) - 1
 	p.recs[i] = p.recs[last]
 	p.recs = p.recs[:last]
+	delete(p.names, rec.name)
 	return rec, true
 }
 
-// sampleName returns a random live object name without removing it.
-func (p *keyPool) sampleName(rng *rand.Rand) (string, bool) {
+// sample returns a random live record without removing it.
+func (p *keyPool) sample(rng *rand.Rand) (pubRec, bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if len(p.recs) == 0 {
-		return "", false
+		return pubRec{}, false
 	}
-	return p.recs[rng.Intn(len(p.recs))].name, true
+	return p.recs[rng.Intn(len(p.recs))], true
+}
+
+// hasName reports whether the named object is still in the live pool.
+func (p *keyPool) hasName(name string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, ok := p.names[name]
+	return ok
+}
+
+// containsObject reports whether any of the objects carries the name.
+func containsObject(objs []armada.Object, name string) bool {
+	for _, o := range objs {
+		if o.Name == name {
+			return true
+		}
+	}
+	return false
 }
 
 // sleepCtx sleeps for d or until ctx is done.

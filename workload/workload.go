@@ -210,6 +210,10 @@ type Scenario struct {
 	// Preload is the number of objects published before the measured run
 	// starts (they also seed the unpublish pool).
 	Preload int `json:"preload"`
+	// Replicas is the network's replication degree (default 1, the
+	// paper's unreplicated single-owner model). With 2 or more, objects
+	// survive crash-stop churn and reads spread across replica groups.
+	Replicas int `json:"replicas,omitempty"`
 	// TopK is the K of top-k operations (default 10).
 	TopK int `json:"top_k,omitempty"`
 	// PageLimit is the page size of range-paged operations (default 256).
@@ -250,6 +254,9 @@ func (s Scenario) withDefaults() Scenario {
 	}
 	if s.TopK == 0 {
 		s.TopK = 10
+	}
+	if s.Replicas == 0 {
+		s.Replicas = 1
 	}
 	if s.PageLimit == 0 {
 		s.PageLimit = 256
@@ -314,6 +321,9 @@ func (s Scenario) validate() error {
 	}
 	if s.Ops <= 0 && s.Duration <= 0 {
 		return bad("need a stop condition: Ops or Duration")
+	}
+	if s.Replicas < 1 || s.Replicas > 16 {
+		return bad("replication degree %d outside [1, 16]", s.Replicas)
 	}
 	if s.Ops < 0 || s.Duration < 0 || s.Preload < 0 {
 		return bad("negative Ops, Duration or Preload")
