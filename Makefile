@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: test race build vet smoke rebaseline
+.PHONY: test race build vet smoke rebaseline rebaseline-2cpu
 
 build:
 	$(GO) build ./...
@@ -28,3 +28,9 @@ smoke:
 rebaseline:
 	$(GO) run ./cmd/armada-load -scenario mixed -ops 2000 -peers 500 -worst-of 3 -out BENCH_baseline.json
 	@echo "BENCH_baseline.json regenerated (worst-of-3); review and commit it"
+
+# Same, for the GOMAXPROCS=2 load-smoke leg: its tails are stabler than
+# the pinned 1-CPU leg's, so it carries its own tighter budget.
+rebaseline-2cpu:
+	GOMAXPROCS=2 $(GO) run ./cmd/armada-load -scenario mixed -ops 2000 -peers 500 -worst-of 3 -out BENCH_baseline_2cpu.json
+	@echo "BENCH_baseline_2cpu.json regenerated (worst-of-3 at GOMAXPROCS=2); review and commit it"

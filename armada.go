@@ -44,6 +44,7 @@ import (
 	"armada/internal/fissione"
 	"armada/internal/kautz"
 	"armada/internal/naming"
+	"armada/internal/session"
 )
 
 // Errors returned by Network operations.
@@ -76,6 +77,10 @@ type Network struct {
 	tree *naming.Tree
 	eng  *core.Engine
 	mode core.Mode
+	// fcache is the shared issuer-side frontier cache (nil without
+	// WithFrontierCache): range queries capture their descent frontiers
+	// into it and seed from covering entries, skipping the descent.
+	fcache *session.Cache
 
 	// rng drives default issuer selection; it has its own mutex so peer
 	// sampling never serializes behind mutations or other samplers.
@@ -122,12 +127,17 @@ func NewNetwork(peers int, opts ...Option) (*Network, error) {
 	if cfg.async {
 		mode = core.Async
 	}
+	var fcache *session.Cache
+	if cfg.frontierCache > 0 {
+		fcache = session.NewCache(cfg.frontierCache)
+	}
 	return &Network{
-		net:  net,
-		tree: tree,
-		eng:  eng,
-		mode: mode,
-		rng:  rand.New(rand.NewSource(cfg.seed + 1)),
+		net:    net,
+		tree:   tree,
+		eng:    eng,
+		mode:   mode,
+		fcache: fcache,
+		rng:    rand.New(rand.NewSource(cfg.seed + 1)),
 	}, nil
 }
 
@@ -340,7 +350,7 @@ func (n *Network) Do(ctx context.Context, q Query) (*Result, error) {
 	if issuer == "" {
 		issuer = n.randomPeerLocked()
 	}
-	return n.do(ctx, q, issuer, nil)
+	return n.do(ctx, q, issuer, nil, nil)
 }
 
 // Stream executes one query and yields matching objects as destination
@@ -403,7 +413,7 @@ func (n *Network) Stream(ctx context.Context, q Query) iter.Seq2[Object, error] 
 				case notify <- struct{}{}:
 				default:
 				}
-			})
+			}, nil)
 			done <- err
 		}()
 
@@ -454,7 +464,10 @@ func (n *Network) Stream(ctx context.Context, q Query) iter.Seq2[Object, error] 
 
 // do dispatches one query on the engine. The caller holds the read lock;
 // onMatch, when non-nil, streams each matching object at delivery time.
-func (n *Network) do(ctx context.Context, q Query, issuer string, onMatch func(Object)) (*Result, error) {
+// fr, when non-nil, threads frontier reuse through a range query (see
+// frontierExec); on a network with a frontier cache, plain non-streaming
+// range queries get one automatically.
+func (n *Network) do(ctx context.Context, q Query, issuer string, onMatch func(Object), fr *frontierExec) (*Result, error) {
 	kind := q.kind()
 	opts := make([]core.QueryOption, 0, 6)
 	if n.mode == core.Async {
@@ -536,16 +549,34 @@ func (n *Network) do(ctx context.Context, q Query, issuer string, onMatch func(O
 		// resultOf reads the sorted runs directly; skipping the engine-side
 		// flatten saves one full copy of what may be a huge result set.
 		opts = append(opts, core.WithRunsOnly())
-		var res *core.RangeResult
 		if kind == KindFlood {
-			res, err = n.eng.FloodQuery(ctx, kautz.Str(issuer), lo, hi, opts...)
-		} else {
-			res, err = n.eng.RangeQuery(ctx, kautz.Str(issuer), lo, hi, opts...)
+			res, err := n.eng.FloodQuery(ctx, kautz.Str(issuer), lo, hi, opts...)
+			if err != nil {
+				return nil, wrapCoreErr(err)
+			}
+			return resultOf(res), nil
 		}
+		// Non-streaming range queries on a cached network reuse frontiers
+		// even outside sessions: a repeated hot range skips its descent.
+		if fr == nil && onMatch == nil && n.fcache != nil {
+			fr = &frontierExec{}
+		}
+		if fr == nil {
+			res, err := n.eng.RangeQuery(ctx, kautz.Str(issuer), lo, hi, opts...)
+			if err != nil {
+				return nil, wrapCoreErr(err)
+			}
+			return resultOf(res), nil
+		}
+		res, err := n.runFrontierRange(ctx, issuer, lo, hi, q.OffsetID, fr, opts)
 		if err != nil {
-			return nil, wrapCoreErr(err)
+			return nil, err
 		}
-		return resultOf(res), nil
+		out := resultOf(res)
+		if fr.saved && fr.fromCache {
+			out.Stats.FrontierHits = 1
+		}
+		return out, nil
 
 	case KindTopK:
 		if q.K < 1 {
@@ -688,6 +719,36 @@ func (n *Network) Topology() Topology {
 		MaxIDLength:  l.Max,
 		AvgIDLength:  l.Avg,
 	}
+}
+
+// FrontierCacheStats is a snapshot of the shared frontier cache's counters
+// (see WithFrontierCache).
+type FrontierCacheStats struct {
+	// Hits and Misses count cache lookups by range queries; Stale is the
+	// subset of misses that evicted an entry invalidated by churn (the
+	// topology epoch moved past it).
+	Hits   int64
+	Misses int64
+	Stale  int64
+	// Entries is the current entry count; Capacity the configured bound.
+	Entries  int
+	Capacity int
+}
+
+// FrontierCacheStats reports the shared frontier cache's counters; ok is
+// false when the network was built without WithFrontierCache.
+func (n *Network) FrontierCacheStats() (_ FrontierCacheStats, ok bool) {
+	if n.fcache == nil {
+		return FrontierCacheStats{}, false
+	}
+	s := n.fcache.Stats()
+	return FrontierCacheStats{
+		Hits:     s.Hits,
+		Misses:   s.Misses,
+		Stale:    s.Stale,
+		Entries:  s.Entries,
+		Capacity: s.Capacity,
+	}, true
 }
 
 // Audit verifies every structural invariant of the overlay: the prefix-free

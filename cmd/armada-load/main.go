@@ -82,6 +82,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		maxPeers = fs.Int("max-peers", 0, "churn ceiling: skip joins at or above this size")
 		interval = fs.Duration("interval", 0, "snapshot period")
 		pageLim  = fs.Int("page-limit", 0, "page size for range-paged operations")
+		noSess   = fs.Bool("paged-no-session", false, "run range-paged walks as independent per-page queries instead of a session (the descent-reuse ablation)")
+		fcache   = fs.Int("frontier-cache", 0, "issuer-side frontier cache capacity; repeated range queries over covered regions skip their descent (0 = no cache)")
+		rangeBk  = fs.Int("range-buckets", 0, "snap range-query bounds to a grid of this many buckets per attribute space so hot scans repeat exactly (0 = continuous bounds)")
 		queueCap = fs.Int("queue-cap", 0, "open-loop dispatch queue bound (default 4×workers); full queue drops arrivals")
 		gogc     = fs.Int("gogc", 600, "GOGC percent for the run (load generators allocate fast against a small live heap); 0 leaves the runtime default, and an explicit GOGC env var always wins")
 		compare  = fs.String("compare", "", "baseline report JSON (BENCH_baseline.json); exit non-zero on p99 latency regression")
@@ -200,6 +203,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			sc.PageLimit = *pageLim
 		case "queue-cap":
 			sc.Arrival.QueueCap = *queueCap
+		case "paged-no-session":
+			sc.PagedNoSession = *noSess
+		case "frontier-cache":
+			if *fcache < 0 {
+				keep(fmt.Errorf("-frontier-cache %d: must be at least 0", *fcache))
+			}
+			sc.FrontierCache = *fcache
+		case "range-buckets":
+			if *rangeBk < 0 {
+				keep(fmt.Errorf("-range-buckets %d: must be at least 0", *rangeBk))
+			}
+			sc.RangeBuckets = *rangeBk
 		}
 	})
 	if parseErr != nil {
@@ -215,11 +230,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 
 	runOnce := func() (*workload.Report, error) {
-		fmt.Fprintf(stderr, "armada-load: scenario %q — building %d peers (replicas %d), preloading %d objects\n",
-			sc.Name, sc.Peers, sc.Replicas, sc.Preload)
-		net, err := armada.NewNetwork(sc.Peers,
-			armada.WithSeed(sc.Seed), armada.WithAttributes(sc.Attrs...),
-			armada.WithReplication(sc.Replicas))
+		fmt.Fprintf(stderr, "armada-load: scenario %q — building %d peers (replicas %d, frontier cache %d), preloading %d objects\n",
+			sc.Name, sc.Peers, sc.Replicas, sc.FrontierCache, sc.Preload)
+		net, err := armada.NewNetwork(sc.Peers, sc.NetworkOptions()...)
 		if err != nil {
 			return nil, err
 		}

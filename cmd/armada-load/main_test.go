@@ -27,7 +27,7 @@ func TestList(t *testing.T) {
 	if err := run(context.Background(), []string{"-list"}, &stdout, &stderr); err != nil {
 		t.Fatal(err)
 	}
-	for _, name := range []string{"steady", "zipf-hot", "churn-heavy", "flood-storm", "mixed"} {
+	for _, name := range []string{"steady", "zipf-hot", "scan-heavy", "churn-heavy", "flood-storm", "mixed"} {
 		if !strings.Contains(stdout.String(), name) {
 			t.Errorf("-list output missing preset %q:\n%s", name, stdout.String())
 		}
@@ -118,6 +118,36 @@ func TestFlagBuiltCustomScenario(t *testing.T) {
 	}
 	if got := m["total_ops"].(float64); got != 120 {
 		t.Errorf("total_ops = %v, want 120", got)
+	}
+}
+
+func TestScanHeavySmall(t *testing.T) {
+	m := runJSON(t, "-scenario", "scan-heavy", "-peers", "100", "-ops", "250", "-preload", "500")
+	ops := m["ops"].(map[string]any)
+	rp, ok := ops["range-paged"].(map[string]any)
+	if !ok {
+		t.Fatalf("ops.range-paged missing: %v", ops)
+	}
+	if saved, _ := rp["descents_saved"].(float64); saved == 0 {
+		t.Error("scan-heavy sessions saved no descents")
+	}
+	fc, ok := m["frontier_cache"].(map[string]any)
+	if !ok {
+		t.Fatalf("report missing frontier_cache: %v", m)
+	}
+	if hits, _ := fc["hits"].(float64); hits == 0 {
+		t.Error("scan-heavy run produced no cache hits")
+	}
+	// The ablation flag turns the savings off without touching anything
+	// else of the scenario.
+	m = runJSON(t, "-scenario", "scan-heavy", "-peers", "100", "-ops", "250", "-preload", "500",
+		"-paged-no-session", "-frontier-cache", "0")
+	rp = m["ops"].(map[string]any)["range-paged"].(map[string]any)
+	if saved, _ := rp["descents_saved"].(float64); saved != 0 {
+		t.Errorf("ablation run saved %v descents, want 0", saved)
+	}
+	if _, ok := m["frontier_cache"]; ok {
+		t.Error("-frontier-cache 0 still reported a cache block")
 	}
 }
 

@@ -133,6 +133,18 @@ type QueryConfig struct {
 	// network. The zero value (ReadPrimary) preserves the unreplicated
 	// data path exactly.
 	Policy ReadPolicy
+	// Frontier, when non-nil, offers a captured descent frontier to seed
+	// the query directly at its destination peers (see WithFrontier). It
+	// is used only while valid — matching topology epoch, covering region
+	// — and silently ignored otherwise.
+	Frontier *Frontier
+	// CaptureFrontier records a full descent's frontier into
+	// RangeResult.Frontier (see WithCaptureFrontier).
+	CaptureFrontier bool
+	// Prepared, when non-nil, carries the query's precomputed box and
+	// region (see WithPrepared), sparing RangeQuery the naming-tree
+	// mapping a frontier-caching caller already performed.
+	Prepared *PreparedRange
 }
 
 // QueryOption adjusts one query's configuration.
@@ -206,6 +218,11 @@ type Stats struct {
 	// Each such redirect is accounted as one extra overlay message, and as
 	// one extra hop of delay for that destination.
 	ReplicaServed int
+	// DescentsSaved is 1 when the query was seeded from a captured
+	// frontier instead of descending the FRT: Messages then counts one
+	// direct fan-out message per surviving destination (plus replica
+	// redirects), Delay is the single fan-out hop, and Subregions is 0.
+	DescentsSaved int
 }
 
 // MesgRatio is Messages/Destpeers, the paper's per-destination message
@@ -255,6 +272,10 @@ type RangeResult struct {
 	// with After set to it yields the following page. Empty when Matches is
 	// the complete (remaining) result set.
 	Next kautz.Str
+	// Frontier is the captured descent frontier — non-nil only when the
+	// query ran with CaptureFrontier and descended in full (a seeded query
+	// captures nothing; its seed remains the valid frontier).
+	Frontier *Frontier
 	// Stats carries the query's cost metrics.
 	Stats Stats
 }
@@ -280,9 +301,10 @@ type queryState struct {
 	runs          [][]Match // each ascending (ObjectID, Name); pairwise disjoint ID ranges
 	nmatches      int
 	dests         []kautz.Str
-	truncated     bool // some peer (or the final cut) dropped matches to a Limit
-	replicaServed int  // deliveries redirected to a non-owner replica
-	redirectDepth int  // deepest redirected delivery (owner depth + 1)
+	frontier      []FrontierEntry // captured deliveries (cfg.CaptureFrontier only)
+	truncated     bool            // some peer (or the final cut) dropped matches to a Limit
+	replicaServed int             // deliveries redirected to a non-owner replica
+	redirectDepth int             // deepest redirected delivery (owner depth + 1)
 }
 
 // RangeQuery executes a range query issued by the given peer: PIRA when the
@@ -293,20 +315,37 @@ func (e *Engine) RangeQuery(ctx context.Context, issuer kautz.Str, lo, hi []floa
 	if e.tree == nil {
 		return nil, ErrNoTree
 	}
-	box, err := e.tree.NewBox(lo, hi)
-	if err != nil {
-		return nil, fmt.Errorf("core: range query bounds: %w", err)
-	}
-	region, err := e.tree.QueryRegion(box)
-	if err != nil {
-		return nil, fmt.Errorf("core: range query region: %w", err)
-	}
 	cfg := buildQueryConfig(opts)
+	var (
+		box    naming.Box
+		region kautz.Region
+	)
+	if cfg.Prepared != nil {
+		box, region = cfg.Prepared.Box, cfg.Prepared.Region
+	} else {
+		var err error
+		if box, err = e.tree.NewBox(lo, hi); err != nil {
+			return nil, fmt.Errorf("core: range query bounds: %w", err)
+		}
+		if region, err = e.tree.QueryRegion(box); err != nil {
+			return nil, fmt.Errorf("core: range query region: %w", err)
+		}
+	}
 	region, ok := clipRegionAfter(region, cfg.After)
 	if !ok {
 		return &RangeResult{}, nil
 	}
-	return e.descend(ctx, issuer, region, &box, cfg)
+	if e.frontierUsable(cfg.Frontier, region, lo, hi) {
+		return e.seedFromFrontier(ctx, issuer, region, &box, cfg, cfg.Frontier)
+	}
+	res, err := e.descend(ctx, issuer, region, &box, cfg)
+	if err == nil && res.Frontier != nil {
+		// Stamp the bounds the capture's box pruning ran with; reuse is
+		// restricted to queries inside them (see Frontier.CoversBounds).
+		res.Frontier.Lo = append([]float64(nil), lo...)
+		res.Frontier.Hi = append([]float64(nil), hi...)
+	}
+	return res, err
 }
 
 // clipRegionAfter shrinks a paginated query's region to ⟨succ(after),
@@ -394,7 +433,13 @@ func (e *Engine) descend(ctx context.Context, issuer kautz.Str, region kautz.Reg
 		return nil, err
 	}
 
-	return state.result(metrics, len(parts)), nil
+	res := state.result(metrics, len(parts))
+	if cfg.CaptureFrontier {
+		// The run has drained, so state.frontier is complete; the epoch is
+		// stable for as long as the caller excludes topology mutation.
+		res.Frontier = &Frontier{Epoch: e.net.Epoch(), Region: region, Entries: state.frontier}
+	}
+	return res, nil
 }
 
 // run executes one set of seed messages on the engine selected by the
@@ -423,11 +468,24 @@ func (e *Engine) run(ctx context.Context, cfg QueryConfig, seeds []simnet.Messag
 // step processes one descent message at its destination peer and returns
 // the forwards. It is safe for concurrent use.
 func (e *Engine) step(state *queryState, m simnet.Message) []simnet.Message {
-	qm, ok := m.Payload.(queryMsg)
+	peer, ok := e.net.Peer(kautz.Str(m.To))
 	if !ok {
 		return nil
 	}
-	peer, ok := e.net.Peer(kautz.Str(m.To))
+	if fm, ok := m.Payload.(frontierMsg); ok {
+		// Frontier-seeded fan-out: the issuer addresses each surviving
+		// destination directly; every forward is one overlay message
+		// delivering at depth 1.
+		fwd := make([]simnet.Message, 0, len(fm.sends))
+		for _, s := range fm.sends {
+			if state.cfg.Trace != nil {
+				state.cfg.Trace(peer.ID(), s.Peer, m.Depth, 0)
+			}
+			fwd = append(fwd, simnet.Message{To: string(s.Peer), Payload: queryMsg{region: s.Region, h: 0}})
+		}
+		return fwd
+	}
+	qm, ok := m.Payload.(queryMsg)
 	if !ok {
 		return nil
 	}
@@ -527,6 +585,15 @@ func (e *Engine) deliver(state *queryState, owner *fissione.Peer, region kautz.R
 	})
 	state.mu.Lock()
 	state.dests = append(state.dests, owner.ID())
+	if state.cfg.CaptureFrontier {
+		// Capture the delivery clipped to the owner's own region, so a
+		// cursor moving past the entry retires the peer from later pages
+		// (the raw delivered region spans many peers and would never
+		// retire anyone).
+		if own, ok := region.Intersect(e.ownRegion(owner.ID())); ok {
+			state.frontier = append(state.frontier, FrontierEntry{Peer: owner.ID(), Region: own})
+		}
+	}
 	if serving != owner {
 		state.replicaServed++
 		if depth+1 > state.redirectDepth {
@@ -561,8 +628,7 @@ func (e *Engine) serveTarget(owner *fissione.Peer, region kautz.Region, pol Read
 		return owner, region, true
 	}
 	id := owner.ID()
-	own := kautz.Region{Low: kautz.MinExtend(id, e.net.K()), High: kautz.MaxExtend(id, e.net.K())}
-	scan, ok = region.Intersect(own)
+	scan, ok = region.Intersect(e.ownRegion(id))
 	if !ok {
 		return owner, scan, false
 	}

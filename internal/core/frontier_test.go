@@ -1,0 +1,195 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"armada/internal/kautz"
+)
+
+// TestFrontierSeededEquivalence runs many random paged walks twice — every
+// page a fresh descent, then every page past the first seeded from the
+// captured frontier — and requires identical matches and cursors with a
+// strictly lower message cost per seeded page.
+func TestFrontierSeededEquivalence(t *testing.T) {
+	for _, size := range []int{40, 150} {
+		eng, _ := buildSingle(t, size, 600, int64(size)+3)
+		rng := rand.New(rand.NewSource(int64(size) * 13))
+		ctx := context.Background()
+		for trial := 0; trial < 15; trial++ {
+			lo := rng.Float64() * 800
+			hi := lo + 50 + rng.Float64()*150
+			issuer := eng.Network().RandomPeer(rng)
+
+			first, err := eng.RangeQuery(ctx, issuer, []float64{lo}, []float64{hi},
+				WithLimit(40), WithCaptureFrontier())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if first.Frontier == nil {
+				t.Fatal("full descent captured no frontier")
+			}
+			if first.Stats.DescentsSaved != 0 {
+				t.Fatal("full descent claims a saved descent")
+			}
+			f := first.Frontier
+			after := first.Next
+			for page := 2; after != ""; page++ {
+				fresh, err := eng.RangeQuery(ctx, issuer, []float64{lo}, []float64{hi},
+					WithLimit(40), WithAfter(after))
+				if err != nil {
+					t.Fatal(err)
+				}
+				seeded, err := eng.RangeQuery(ctx, issuer, []float64{lo}, []float64{hi},
+					WithLimit(40), WithAfter(after), WithFrontier(f))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(seeded.Matches, fresh.Matches) || seeded.Next != fresh.Next {
+					t.Fatalf("N=%d [%f,%f] page %d: seeded page diverged from fresh descent", size, lo, hi, page)
+				}
+				if seeded.Stats.DescentsSaved != 1 {
+					t.Fatalf("page %d not accounted as seeded", page)
+				}
+				if seeded.Frontier != nil {
+					t.Fatal("seeded page captured a new frontier")
+				}
+				if seeded.Stats.Messages > fresh.Stats.Messages {
+					t.Fatalf("N=%d page %d: seeded cost %d messages, fresh descent %d",
+						size, page, seeded.Stats.Messages, fresh.Stats.Messages)
+				}
+				if seeded.Stats.DestPeers != fresh.Stats.DestPeers {
+					t.Fatalf("page %d: seeded reached %d destinations, fresh %d",
+						page, seeded.Stats.DestPeers, fresh.Stats.DestPeers)
+				}
+				after = fresh.Next
+				if page > 1000 {
+					t.Fatal("walk does not terminate")
+				}
+			}
+		}
+	}
+}
+
+// TestFrontierStaleEpochFallsBack: a frontier captured before a topology
+// change must be refused — the query descends in full and stays correct.
+func TestFrontierStaleEpochFallsBack(t *testing.T) {
+	eng, _ := buildSingle(t, 60, 400, 9)
+	ctx := context.Background()
+	issuer := eng.Network().RandomPeer(nil)
+	lo, hi := []float64{100}, []float64{600}
+
+	first, err := eng.RangeQuery(ctx, issuer, lo, hi, WithCaptureFrontier())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := first.Frontier
+	if !eng.Network().ValidEpoch(f.Epoch) {
+		t.Fatal("epoch moved without a topology change")
+	}
+	if _, err := eng.Network().Join(); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Network().ValidEpoch(f.Epoch) {
+		t.Fatal("join did not bump the topology epoch")
+	}
+	// The issuer may still exist (joins only add); reuse it.
+	again, err := eng.RangeQuery(ctx, issuer, lo, hi, WithFrontier(f), WithCaptureFrontier())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Stats.DescentsSaved != 0 {
+		t.Error("stale frontier seeded a query")
+	}
+	if len(again.Matches) != len(first.Matches) {
+		t.Errorf("fallback found %d matches, original %d", len(again.Matches), len(first.Matches))
+	}
+	if again.Frontier == nil || again.Frontier.Epoch == f.Epoch {
+		t.Error("fallback did not re-capture at the new epoch")
+	}
+}
+
+// TestFrontierCoversRejectsWiderQuery: a frontier must not seed a query
+// whose region exceeds what it covers.
+func TestFrontierCoversRejectsWiderQuery(t *testing.T) {
+	eng, _ := buildSingle(t, 60, 400, 11)
+	ctx := context.Background()
+	issuer := eng.Network().RandomPeer(nil)
+
+	narrow, err := eng.RangeQuery(ctx, issuer, []float64{300}, []float64{400}, WithCaptureFrontier())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := eng.RangeQuery(ctx, issuer, []float64{200}, []float64{600}, WithFrontier(narrow.Frontier))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.Stats.DescentsSaved != 0 {
+		t.Error("a narrow frontier seeded a wider query")
+	}
+
+	// The converse is the cache's bread and butter: the wide frontier
+	// seeds the narrow query with identical results.
+	wideCap, err := eng.RangeQuery(ctx, issuer, []float64{200}, []float64{600}, WithCaptureFrontier())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := eng.RangeQuery(ctx, issuer, []float64{300}, []float64{400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeded, err := eng.RangeQuery(ctx, issuer, []float64{300}, []float64{400}, WithFrontier(wideCap.Frontier))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seeded.Stats.DescentsSaved != 1 {
+		t.Error("a covering frontier did not seed a narrower query")
+	}
+	if !reflect.DeepEqual(seeded.Matches, fresh.Matches) {
+		t.Error("seeded narrower query diverged from the fresh descent")
+	}
+}
+
+// TestFrontierEntriesClippedToOwners: captured entries carry the delivered
+// region clipped to each destination's own region, so a cursor past an
+// entry's High retires that peer from later pages (the message saving the
+// subsystem exists for).
+func TestFrontierEntriesClippedToOwners(t *testing.T) {
+	eng, _ := buildSingle(t, 100, 500, 17)
+	ctx := context.Background()
+	issuer := eng.Network().RandomPeer(nil)
+	res, err := eng.RangeQuery(ctx, issuer, []float64{0}, []float64{1000}, WithCaptureFrontier())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.Frontier
+	if len(f.Entries) == 0 {
+		t.Fatal("no entries captured")
+	}
+	for _, en := range f.Entries {
+		own := kautz.Region{
+			Low:  kautz.MinExtend(en.Peer, eng.Network().K()),
+			High: kautz.MaxExtend(en.Peer, eng.Network().K()),
+		}
+		if en.Region.Low < own.Low || en.Region.High > own.High {
+			t.Fatalf("entry for %s covers %v outside its own region %v", en.Peer, en.Region, own)
+		}
+	}
+	// Deep cursors must shrink the fan-out: seed a page after the median
+	// entry High and require fewer messages than the full destination set.
+	mid := f.Entries[len(f.Entries)/2].Region.High
+	seeded, err := eng.RangeQuery(ctx, issuer, []float64{0}, []float64{1000},
+		WithFrontier(f), WithAfter(mid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seeded.Stats.DescentsSaved != 1 {
+		t.Fatal("seeding refused")
+	}
+	if seeded.Stats.Messages >= len(f.Entries) {
+		t.Errorf("cursor-clipped seeding sent %d messages over %d entries; retired peers still messaged",
+			seeded.Stats.Messages, len(f.Entries))
+	}
+}

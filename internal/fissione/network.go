@@ -36,7 +36,22 @@ type Network struct {
 	rng      *rand.Rand
 	replicas int          // replication degree; 1 = single-owner
 	reRepl   atomic.Int64 // objects copied by churn repair
+	epoch    atomic.Uint64
 }
+
+// Epoch returns the topology epoch: a counter bumped by every mutation that
+// can move region ownership — splits (joins), departures, crashes and
+// replication-degree changes. Routing state captured outside the network
+// (the query engine's descent frontiers) is valid only while the epoch it
+// was captured at still matches; ValidEpoch is the check. Reads are safe
+// concurrently with queries; the counter only advances under the same
+// external exclusion topology mutation requires, so a value observed while
+// holding a read lock stays exact for the lock's duration.
+func (n *Network) Epoch() uint64 { return n.epoch.Load() }
+
+// ValidEpoch reports whether routing state captured at epoch e may still be
+// used: ownership has not shifted since.
+func (n *Network) ValidEpoch(e uint64) bool { return n.epoch.Load() == e }
 
 // New creates a minimal network of the three seed peers 0, 1 and 2, with
 // ObjectIDs of length k. The seed determines all subsequent randomized
@@ -206,6 +221,7 @@ func (n *Network) split(id kautz.Str) (kept, created kautz.Str, err error) {
 	affected[upper] = struct{}{}
 	n.refreshAll(affected)
 	n.repairAround(lower, upper)
+	n.epoch.Add(1)
 	return lower, upper, nil
 }
 
@@ -249,6 +265,7 @@ func (n *Network) Leave(id kautz.Str) error {
 		delete(affected, sib)
 		n.refreshAll(affected)
 		n.repairAround(id, sib, parent)
+		n.epoch.Add(1)
 		return nil
 	}
 
@@ -293,6 +310,7 @@ func (n *Network) Leave(id kautz.Str) error {
 	delete(affected, u1)
 	n.refreshAll(affected)
 	n.repairAround(u0, u1, parent, id)
+	n.epoch.Add(1)
 	return nil
 }
 

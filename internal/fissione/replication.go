@@ -40,6 +40,7 @@ func (n *Network) SetReplicas(r int) error {
 	}
 	n.replicas = r
 	n.syncReplicas()
+	n.epoch.Add(1)
 	return nil
 }
 

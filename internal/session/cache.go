@@ -1,0 +1,150 @@
+// Package session implements issuer-side reuse of descent routing state:
+// a bounded LRU cache of the pruned-descent frontiers range queries
+// capture (see core.Frontier), keyed by normalized query-region prefix.
+// Repeated queries over a hot region find a frontier covering them and
+// seed directly at the destination peers, skipping the route-to-region
+// descent entirely.
+//
+// Correctness under churn is epoch-based, not best-effort: every entry
+// records the fissione topology epoch it was captured at, lookups refuse
+// entries whose epoch no longer matches the live network's (dropping them
+// on sight), and a refused lookup simply means the query descends in full
+// — a stale cache can cost messages, never results.
+package session
+
+import (
+	"container/list"
+	"sync"
+
+	"armada/internal/core"
+	"armada/internal/kautz"
+)
+
+// MaxKeyLen bounds the cache key length: region prefixes are truncated to
+// this many symbols, so needle-thin distinctions between nearby hot
+// ranges land in one bucket (the containment check on lookup keeps the
+// sharing safe — a frontier only ever seeds queries its region covers).
+const MaxKeyLen = 16
+
+// Key returns the cache key of a query region: the normalized region
+// prefix — the longest common prefix of its bounds, truncated to
+// MaxKeyLen symbols.
+func Key(r kautz.Region) string {
+	p := r.CommonPrefix()
+	if len(p) > MaxKeyLen {
+		p = p[:MaxKeyLen]
+	}
+	return string(p)
+}
+
+// Cache is a bounded LRU of captured descent frontiers, safe for
+// concurrent use (queries share it under the network's read lock).
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	byKey    map[string]*list.Element
+
+	hits   int64
+	misses int64
+	stale  int64 // lookups that evicted an entry from an older epoch
+}
+
+// centry is one cached frontier under its key.
+type centry struct {
+	key string
+	f   *core.Frontier
+}
+
+// NewCache creates a cache holding at most capacity frontiers (at least 1).
+func NewCache(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		byKey:    make(map[string]*list.Element, capacity),
+	}
+}
+
+// Lookup returns a cached frontier able to seed a query over the
+// cursor-clipped region need, with attribute bounds [lo, hi], at the live
+// topology epoch. An entry from an older epoch is dropped on sight
+// (counted as stale); an entry that does not cover need — by region or by
+// bounds (a capture's descent pruned destinations outside its own box, so
+// its entries cannot serve a wider one) — stays cached (a narrower query
+// may still use it) but reports a miss.
+func (c *Cache) Lookup(key string, need kautz.Region, lo, hi []float64, epoch uint64) (*core.Frontier, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	en := el.Value.(*centry)
+	if en.f.Epoch != epoch {
+		c.removeLocked(el)
+		c.stale++
+		c.misses++
+		return nil, false
+	}
+	if !en.f.Covers(need) || !en.f.CoversBounds(lo, hi) {
+		c.misses++
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits++
+	return en.f, true
+}
+
+// Insert caches f under key, replacing any previous entry for the key and
+// evicting the least recently used entry when over capacity.
+func (c *Cache) Insert(key string, f *core.Frontier) {
+	if f == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*centry).f = f
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.ll.PushFront(&centry{key: key, f: f})
+	if c.ll.Len() > c.capacity {
+		c.removeLocked(c.ll.Back())
+	}
+}
+
+// removeLocked unlinks one element; the caller holds c.mu.
+func (c *Cache) removeLocked(el *list.Element) {
+	c.ll.Remove(el)
+	delete(c.byKey, el.Value.(*centry).key)
+}
+
+// Stats is a snapshot of the cache's counters.
+type Stats struct {
+	// Hits and Misses count lookups; Stale is the subset of misses that
+	// evicted an entry invalidated by a topology epoch change.
+	Hits   int64
+	Misses int64
+	Stale  int64
+	// Entries is the current entry count; Capacity the configured bound.
+	Entries  int
+	Capacity int
+}
+
+// Stats returns a snapshot of the cache's counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:     c.hits,
+		Misses:   c.misses,
+		Stale:    c.stale,
+		Entries:  c.ll.Len(),
+		Capacity: c.capacity,
+	}
+}

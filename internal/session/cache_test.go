@@ -1,0 +1,138 @@
+package session
+
+import (
+	"fmt"
+	"testing"
+
+	"armada/internal/core"
+	"armada/internal/kautz"
+)
+
+// region builds a test region from two equal-length Kautz strings.
+func region(t *testing.T, lo, hi string) kautz.Region {
+	t.Helper()
+	r, err := kautz.NewRegion(kautz.Str(lo), kautz.Str(hi))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func frontier(epoch uint64, r kautz.Region) *core.Frontier {
+	return &core.Frontier{Epoch: epoch, Region: r}
+}
+
+func TestKeyNormalizesPrefix(t *testing.T) {
+	r := region(t, "01010101", "01012020")
+	if got := Key(r); got != "0101" {
+		t.Errorf("Key(%v) = %q, want the common prefix %q", r, got, "0101")
+	}
+	// Long common prefixes truncate to MaxKeyLen.
+	long := region(t, "010101010101010101010101", "010101010101010101010102")
+	if got := Key(long); len(got) != MaxKeyLen {
+		t.Errorf("Key of a deep region has length %d, want %d", len(got), MaxKeyLen)
+	}
+}
+
+func TestCacheHitRequiresCoverage(t *testing.T) {
+	c := NewCache(4)
+	covered := region(t, "0102", "0121")
+	c.Insert("01", frontier(1, covered))
+
+	if _, ok := c.Lookup("01", region(t, "0102", "0120"), nil, nil, 1); !ok {
+		t.Error("contained region missed")
+	}
+	if _, ok := c.Lookup("01", region(t, "0120", "0201"), nil, nil, 1); ok {
+		t.Error("region beyond the entry's coverage hit")
+	}
+	if _, ok := c.Lookup("02", region(t, "0201", "0210"), nil, nil, 1); ok {
+		t.Error("unknown key hit")
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 2 {
+		t.Errorf("stats = %+v, want 1 hit / 2 misses", s)
+	}
+}
+
+func TestCacheHitRequiresBoundsCoverage(t *testing.T) {
+	c := NewCache(4)
+	r := region(t, "0102", "0121")
+	f := frontier(1, r)
+	f.Lo, f.Hi = []float64{100, 10}, []float64{200, 20}
+	c.Insert("01", f)
+
+	if _, ok := c.Lookup("01", r, []float64{120, 12}, []float64{180, 18}, 1); !ok {
+		t.Error("bounds inside the capture's box missed")
+	}
+	// Same region coverage, wider second attribute: the capturing descent
+	// pruned destinations outside [10, 20], so serving this would drop
+	// matches.
+	if _, ok := c.Lookup("01", r, []float64{120, 5}, []float64{180, 18}, 1); ok {
+		t.Error("bounds outside the capture's box hit")
+	}
+	if _, ok := c.Lookup("01", r, []float64{120}, []float64{180}, 1); ok {
+		t.Error("mismatched attribute count hit")
+	}
+}
+
+func TestCacheStaleEpochEvicts(t *testing.T) {
+	c := NewCache(4)
+	r := region(t, "0102", "0121")
+	c.Insert("01", frontier(1, r))
+	if _, ok := c.Lookup("01", r, nil, nil, 2); ok {
+		t.Fatal("stale-epoch entry served")
+	}
+	s := c.Stats()
+	if s.Stale != 1 || s.Entries != 0 {
+		t.Errorf("stats = %+v, want the stale entry dropped on sight", s)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	r := region(t, "0102", "0121")
+	c.Insert("a", frontier(1, r))
+	c.Insert("b", frontier(1, r))
+	if _, ok := c.Lookup("a", r, nil, nil, 1); !ok { // refresh a; b is now LRU
+		t.Fatal("entry a missing")
+	}
+	c.Insert("c", frontier(1, r)) // evicts b
+	if _, ok := c.Lookup("b", r, nil, nil, 1); ok {
+		t.Error("LRU entry b survived over-capacity insert")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.Lookup(k, r, nil, nil, 1); !ok {
+			t.Errorf("entry %s evicted out of LRU order", k)
+		}
+	}
+	if s := c.Stats(); s.Entries != 2 || s.Capacity != 2 {
+		t.Errorf("stats = %+v, want 2 entries at capacity 2", s)
+	}
+}
+
+func TestCacheReplaceSameKey(t *testing.T) {
+	c := NewCache(2)
+	r := region(t, "0102", "0121")
+	old := frontier(1, r)
+	c.Insert("k", old)
+	repl := frontier(2, r)
+	c.Insert("k", repl)
+	got, ok := c.Lookup("k", r, nil, nil, 2)
+	if !ok || got != repl {
+		t.Error("same-key insert did not replace the entry")
+	}
+	if s := c.Stats(); s.Entries != 1 {
+		t.Errorf("replacement grew the cache: %+v", s)
+	}
+}
+
+func TestCacheCapacityFloor(t *testing.T) {
+	c := NewCache(0) // clamps to 1
+	r := region(t, "0102", "0121")
+	for i := 0; i < 5; i++ {
+		c.Insert(fmt.Sprintf("k%d", i), frontier(1, r))
+	}
+	if s := c.Stats(); s.Entries != 1 || s.Capacity != 1 {
+		t.Errorf("stats = %+v, want a single-entry cache", s)
+	}
+}

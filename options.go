@@ -13,12 +13,13 @@ type AttributeSpace struct {
 
 // config collects construction options for a Network.
 type config struct {
-	k        int
-	seed     int64
-	attrs    []AttributeSpace
-	balanced bool
-	async    bool
-	replicas int
+	k             int
+	seed          int64
+	attrs         []AttributeSpace
+	balanced      bool
+	async         bool
+	replicas      int
+	frontierCache int
 }
 
 // Option configures NewNetwork.
@@ -101,6 +102,26 @@ func WithReplication(k int) Option {
 			return fmt.Errorf("%w: replication degree %d outside [1, 16]", errBadOption, k)
 		}
 		c.replicas = k
+		return nil
+	})
+}
+
+// WithFrontierCache attaches an issuer-side frontier cache of the given
+// capacity (in cached descents) to the network. Range queries then
+// capture their pruned-descent frontier — the destination peers reached
+// and the subregion delivered to each — into a bounded LRU keyed by
+// normalized query-region prefix, and a later query whose region a cached
+// frontier covers seeds directly at those peers instead of descending:
+// one message per surviving destination, Stats.FrontierHits = 1. Entries
+// are validated against the topology epoch, so churn silently invalidates
+// them and the query falls back to a full descent — a stale cache can
+// cost messages, never correctness. The default is no cache.
+func WithFrontierCache(capacity int) Option {
+	return optionFunc(func(c *config) error {
+		if capacity < 1 {
+			return fmt.Errorf("%w: frontier cache capacity %d < 1", errBadOption, capacity)
+		}
+		c.frontierCache = capacity
 		return nil
 	})
 }

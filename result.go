@@ -47,6 +47,18 @@ type Stats struct {
 	// Each redirect is included in Messages (and can extend Delay by one
 	// hop), so the paper's cost metrics stay honest under read spreading.
 	ReplicaServed int
+	// DescentsSaved is 1 when this query was seeded from a captured
+	// descent frontier — a session's own or the shared frontier cache's —
+	// instead of descending the issuer's forward routing tree. Messages
+	// then counts one direct message per surviving destination (plus
+	// replica redirects), Delay is the single fan-out hop, and Subregions
+	// is 0. The accounting stays honest: the saving shows up as cheaper
+	// Messages/Delay, never as uncounted work.
+	DescentsSaved int
+	// FrontierHits is 1 when the seeding frontier came from the network's
+	// shared cache (WithFrontierCache) — the subset of DescentsSaved that
+	// skipped even the first-page descent of its region.
+	FrontierHits int
 }
 
 // MesgRatio is Messages/DestPeers, the paper's per-destination message
@@ -107,6 +119,7 @@ func statsOf(s core.Stats) Stats {
 		Subregions:    s.Subregions,
 		Deliveries:    s.Deliveries,
 		ReplicaServed: s.ReplicaServed,
+		DescentsSaved: s.DescentsSaved,
 	}
 }
 

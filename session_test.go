@@ -1,0 +1,449 @@
+package armada
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// sessionWalk drains a session, returning the concatenated pages and the
+// per-page results.
+func sessionWalk(t *testing.T, sess *Session) ([]Object, []*Result) {
+	t.Helper()
+	var (
+		objs  []Object
+		pages []*Result
+	)
+	for sess.More() {
+		res, err := sess.Next(context.Background())
+		if err != nil {
+			t.Fatalf("page %d: %v", len(pages), err)
+		}
+		objs = append(objs, res.Objects...)
+		pages = append(pages, res)
+		if len(pages) > 10000 {
+			t.Fatal("session walk does not terminate")
+		}
+	}
+	return objs, pages
+}
+
+// TestSessionWalkEqualsFresh requires a session walk to return exactly the
+// unpaged result, with every page beyond the first seeded from the
+// captured frontier (descents saved) at a strictly lower message cost.
+func TestSessionWalkEqualsFresh(t *testing.T) {
+	net := pagedNetwork(t, 2500)
+	ranges := []Range{{Low: 100, High: 900}}
+	full, err := net.Do(context.Background(), NewRange(ranges))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sess, err := net.OpenSession(NewRange(ranges, WithLimit(128)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	walked, pages := sessionWalk(t, sess)
+	if !reflect.DeepEqual(walked, full.Objects) {
+		t.Fatalf("session walk (%d objects over %d pages) diverged from the full result (%d objects)",
+			len(walked), len(pages), len(full.Objects))
+	}
+	if len(pages) < 3 {
+		t.Fatalf("population too sparse: only %d pages", len(pages))
+	}
+	if pages[0].Stats.DescentsSaved != 0 {
+		t.Errorf("page 1 claims a saved descent on a cacheless network")
+	}
+	for i, p := range pages[1:] {
+		if p.Stats.DescentsSaved != 1 {
+			t.Errorf("page %d: DescentsSaved = %d, want 1", i+2, p.Stats.DescentsSaved)
+		}
+		if p.Stats.Messages >= pages[0].Stats.Messages {
+			t.Errorf("page %d: %d messages, not below page 1's %d",
+				i+2, p.Stats.Messages, pages[0].Stats.Messages)
+		}
+	}
+	st := sess.Stats()
+	if st.Pages != len(pages) || st.Objects != len(walked) {
+		t.Errorf("session stats %+v disagree with %d pages / %d objects", st, len(pages), len(walked))
+	}
+	if st.DescentsSaved != len(pages)-1 {
+		t.Errorf("DescentsSaved = %d, want %d (every page beyond the first)", st.DescentsSaved, len(pages)-1)
+	}
+	if st.FrontierHits != 0 {
+		t.Errorf("FrontierHits = %d without a frontier cache", st.FrontierHits)
+	}
+}
+
+// TestSessionFallbackAfterChurn forces churn mid-walk: the next page must
+// fall back to a full descent (the frontier's epoch is stale), re-capture,
+// and the remaining pages must still equal a fresh walk from the same
+// cursor — byte for byte.
+func TestSessionFallbackAfterChurn(t *testing.T) {
+	net := pagedNetwork(t, 2000)
+	ranges := []Range{{Low: 50, High: 950}}
+	sess, err := net.OpenSession(NewRange(ranges, WithLimit(100)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	first, err := sess.Next(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.NextOffsetID == "" {
+		t.Fatal("walk ended on page 1; population too sparse for the test")
+	}
+	cursor := first.NextOffsetID
+
+	// Invalidate the frontier: a join and a graceful leave (no crash, so
+	// the object population is preserved exactly).
+	if _, err := net.Join(); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Leave(net.RandomPeer()); err != nil {
+		t.Fatal(err)
+	}
+
+	rest, pages := sessionWalk(t, sess)
+	if pages[0].Stats.DescentsSaved != 0 {
+		t.Error("the page after churn was frontier-seeded; its frontier should have been stale")
+	}
+	for i, p := range pages[1:] {
+		if p.Stats.DescentsSaved != 1 {
+			t.Errorf("post-churn page %d: DescentsSaved = %d, want 1 (re-captured frontier)", i+2, p.Stats.DescentsSaved)
+		}
+	}
+
+	fresh, err := net.Do(context.Background(), NewRange(ranges, WithOffsetID(cursor)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rest, fresh.Objects) {
+		t.Fatalf("post-churn session pages (%d objects) diverged from a fresh walk from the same cursor (%d objects)",
+			len(rest), len(fresh.Objects))
+	}
+}
+
+// TestPagedWalkInterleavedMutations is the cursor-stability property test:
+// a paged walk — plain Do pages and session pages alike — interleaved with
+// publishes and unpublishes between pages never duplicates any object and
+// never skips a survivor (an object present before the walk and untouched
+// throughout it).
+func TestPagedWalkInterleavedMutations(t *testing.T) {
+	for _, mode := range []string{"do", "session"} {
+		for seed := int64(1); seed <= 3; seed++ {
+			t.Run(fmt.Sprintf("%s/seed%d", mode, seed), func(t *testing.T) {
+				testInterleavedWalk(t, mode, seed)
+			})
+		}
+	}
+}
+
+func testInterleavedWalk(t *testing.T, mode string, seed int64) {
+	net, err := NewNetwork(200, WithSeed(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed * 977))
+	type rec struct {
+		name  string
+		value float64
+	}
+	var live []rec
+	pubs := make([]Publication, 900)
+	for i := range pubs {
+		r := rec{name: fmt.Sprintf("base-%04d", i), value: rng.Float64() * 1000}
+		pubs[i] = Publication{Name: r.name, Values: []float64{r.value}}
+		live = append(live, r)
+	}
+	if err := net.PublishBatch(pubs); err != nil {
+		t.Fatal(err)
+	}
+	survivors := make(map[string]bool, len(live))
+	for _, r := range live {
+		survivors[r.name] = true
+	}
+
+	ranges := []Range{{Low: 0, High: 1000}}
+	var sess *Session
+	if mode == "session" {
+		if sess, err = net.OpenSession(NewRange(ranges, WithLimit(64))); err != nil {
+			t.Fatal(err)
+		}
+		defer sess.Close()
+	}
+
+	seen := make(map[string]int)
+	offset := ""
+	for page := 0; ; page++ {
+		var res *Result
+		if sess != nil {
+			if !sess.More() {
+				break
+			}
+			res, err = sess.Next(context.Background())
+		} else {
+			opts := []QueryOption{WithLimit(64)}
+			if offset != "" {
+				opts = append(opts, WithOffsetID(offset))
+			}
+			res, err = net.Do(context.Background(), NewRange(ranges, opts...))
+		}
+		if err != nil {
+			t.Fatalf("page %d: %v", page, err)
+		}
+		for _, o := range res.Objects {
+			seen[o.Name]++
+		}
+		if res.NextOffsetID == "" && sess == nil {
+			break
+		}
+		offset = res.NextOffsetID
+
+		// Mutate between pages: one fresh publish, one unpublish of a
+		// random still-live base object (which stops being a survivor).
+		mid := rec{name: fmt.Sprintf("mid-%d-%04d", seed, page), value: rng.Float64() * 1000}
+		if err := net.Publish(mid.name, mid.value); err != nil {
+			t.Fatal(err)
+		}
+		if len(live) > 0 {
+			i := rng.Intn(len(live))
+			r := live[i]
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			if err := net.Unpublish(r.name, r.value); err != nil {
+				t.Fatalf("unpublish %q: %v", r.name, err)
+			}
+			delete(survivors, r.name)
+		}
+		if page > 5000 {
+			t.Fatal("walk does not terminate")
+		}
+	}
+
+	for name, n := range seen {
+		if n > 1 {
+			t.Errorf("object %q returned %d times; a paged walk must never duplicate", name, n)
+		}
+	}
+	for name := range survivors {
+		if seen[name] == 0 {
+			t.Errorf("survivor %q skipped by the walk", name)
+		}
+	}
+}
+
+// TestFrontierCacheHitOnRepeat checks the shared cache end to end: a
+// repeated range query seeds from the cached frontier (hit, saved
+// descent, identical objects, cheaper messages), churn invalidates the
+// entry (fallback, no hit, still correct), and the re-captured frontier
+// serves hits again.
+func TestFrontierCacheHitOnRepeat(t *testing.T) {
+	net, err := NewNetwork(300, WithSeed(7), WithFrontierCache(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	pubs := make([]Publication, 1500)
+	for i := range pubs {
+		pubs[i] = Publication{Name: fmt.Sprintf("obj-%05d", i), Values: []float64{rng.Float64() * 1000}}
+	}
+	if err := net.PublishBatch(pubs); err != nil {
+		t.Fatal(err)
+	}
+	q := NewRange([]Range{{Low: 300, High: 420}})
+
+	first, err := net.Do(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Stats.FrontierHits != 0 || first.Stats.DescentsSaved != 0 {
+		t.Fatalf("first query hit a cold cache: %+v", first.Stats)
+	}
+
+	second, err := net.Do(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Stats.FrontierHits != 1 || second.Stats.DescentsSaved != 1 {
+		t.Fatalf("repeat missed the cache: %+v", second.Stats)
+	}
+	if !reflect.DeepEqual(second.Objects, first.Objects) {
+		t.Fatal("cache-seeded query returned different objects")
+	}
+	if second.Stats.Messages >= first.Stats.Messages {
+		t.Errorf("cache-seeded query cost %d messages, descent cost %d", second.Stats.Messages, first.Stats.Messages)
+	}
+
+	if _, err := net.Join(); err != nil {
+		t.Fatal(err)
+	}
+	third, err := net.Do(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Stats.FrontierHits != 0 || third.Stats.DescentsSaved != 0 {
+		t.Fatalf("post-churn query used a stale frontier: %+v", third.Stats)
+	}
+	if !reflect.DeepEqual(third.Objects, first.Objects) {
+		t.Fatal("post-churn fallback returned different objects")
+	}
+
+	fourth, err := net.Do(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fourth.Stats.FrontierHits != 1 {
+		t.Fatalf("re-captured frontier not served: %+v", fourth.Stats)
+	}
+
+	cs, ok := net.FrontierCacheStats()
+	if !ok {
+		t.Fatal("FrontierCacheStats not available on a cached network")
+	}
+	if cs.Hits != 2 || cs.Stale != 1 || cs.Capacity != 16 {
+		t.Errorf("cache stats = %+v, want 2 hits, 1 stale, capacity 16", cs)
+	}
+}
+
+// TestSessionPageOneCacheHit: a session on a cached network whose region
+// was already descended seeds even its first page from the cache.
+func TestSessionPageOneCacheHit(t *testing.T) {
+	net, err := NewNetwork(250, WithSeed(9), WithFrontierCache(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	pubs := make([]Publication, 1200)
+	for i := range pubs {
+		pubs[i] = Publication{Name: fmt.Sprintf("obj-%05d", i), Values: []float64{rng.Float64() * 1000}}
+	}
+	if err := net.PublishBatch(pubs); err != nil {
+		t.Fatal(err)
+	}
+	ranges := []Range{{Low: 200, High: 800}}
+	full, err := net.Do(context.Background(), NewRange(ranges)) // warms the cache
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sess, err := net.OpenSession(NewRange(ranges, WithLimit(128)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	walked, pages := sessionWalk(t, sess)
+	if !reflect.DeepEqual(walked, full.Objects) {
+		t.Fatal("cached session walk diverged from the unpaged result")
+	}
+	if pages[0].Stats.FrontierHits != 1 {
+		t.Errorf("page 1 missed the warmed cache: %+v", pages[0].Stats)
+	}
+	st := sess.Stats()
+	if st.DescentsSaved != len(pages) {
+		t.Errorf("DescentsSaved = %d, want %d (every page, page 1 included)", st.DescentsSaved, len(pages))
+	}
+}
+
+// TestFrontierCacheMIRABoundsGuard: on a multi-attribute network the
+// descent's box predicate prunes destinations outside the query box, so a
+// cached frontier must not seed a query whose box is wider than its
+// capture's — even when the Kautz regions cover. The wider query must
+// descend in full and find everything.
+func TestFrontierCacheMIRABoundsGuard(t *testing.T) {
+	net, err := NewNetwork(300, WithSeed(13), WithFrontierCache(16),
+		WithAttributes(AttributeSpace{Low: 0, High: 1000}, AttributeSpace{Low: 0, High: 100}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	pubs := make([]Publication, 2000)
+	for i := range pubs {
+		pubs[i] = Publication{Name: fmt.Sprintf("obj-%05d", i),
+			Values: []float64{rng.Float64() * 1000, rng.Float64() * 100}}
+	}
+	if err := net.PublishBatch(pubs); err != nil {
+		t.Fatal(err)
+	}
+
+	// Narrow second attribute first: its capture enters the cache.
+	narrow := []Range{{Low: 200, High: 700}, {Low: 40, High: 45}}
+	if _, err := net.Do(context.Background(), NewRange(narrow)); err != nil {
+		t.Fatal(err)
+	}
+	// Same first attribute, wider second: whatever the regions share, the
+	// narrow capture must not serve it.
+	wide := []Range{{Low: 200, High: 700}, {Low: 0, High: 100}}
+	res, err := net.Do(context.Background(), NewRange(wide))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.FrontierHits != 0 {
+		t.Fatal("a narrow-box capture seeded a wider multi-attribute query")
+	}
+	want := 0
+	for _, p := range pubs {
+		if p.Values[0] >= 200 && p.Values[0] <= 700 {
+			want++
+		}
+	}
+	if len(res.Objects) != want {
+		t.Fatalf("wide query found %d objects, brute force %d", len(res.Objects), want)
+	}
+
+	// The converse reuse is sound and must still work: narrow inside wide.
+	again, err := net.Do(context.Background(), NewRange(narrow))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Stats.DescentsSaved != 1 {
+		t.Error("a covering wide capture did not seed the narrower query")
+	}
+}
+
+// TestOpenSessionValidation covers the session API's error surface.
+func TestOpenSessionValidation(t *testing.T) {
+	net := pagedNetwork(t, 60)
+	cases := []struct {
+		name string
+		q    Query
+	}{
+		{"lookup", NewLookup("obj-00001", WithLimit(5))},
+		{"top-k", NewRange([]Range{{0, 1000}}, WithTopK(3), WithLimit(5))},
+		{"flood", NewRange([]Range{{0, 1000}}, WithFlood(), WithLimit(5))},
+		{"no limit", NewRange([]Range{{0, 1000}})},
+		{"negative limit", NewRange([]Range{{0, 1000}}, WithLimit(-2))},
+	}
+	for _, c := range cases {
+		if _, err := net.OpenSession(c.q); !errors.Is(err, ErrBadQuery) {
+			t.Errorf("%s: err = %v, want ErrBadQuery", c.name, err)
+		}
+	}
+	if _, err := net.OpenSession(NewRange([]Range{{0, 1000}},
+		WithLimit(5), WithIssuer("no-such-peer"))); !errors.Is(err, ErrNoSuchPeer) {
+		t.Errorf("nonexistent issuer: err = %v, want ErrNoSuchPeer", err)
+	}
+
+	sess, err := net.OpenSession(NewRange([]Range{{0, 1000}}), WithLimit(1000))
+	if err != nil {
+		t.Fatalf("options passed to OpenSession not applied: %v", err)
+	}
+	sessionWalk(t, sess)
+	if sess.More() {
+		t.Error("More() true after the final page")
+	}
+	if _, err := sess.Next(context.Background()); !errors.Is(err, ErrSessionDone) {
+		t.Errorf("Next after the final page: err = %v, want ErrSessionDone", err)
+	}
+	sess.Close()
+	sess.Close() // idempotent
+	if _, err := sess.Next(context.Background()); !errors.Is(err, ErrSessionDone) {
+		t.Errorf("Next after Close: err = %v, want ErrSessionDone", err)
+	}
+}

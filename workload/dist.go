@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"math"
 	"math/rand"
 
 	"armada"
@@ -96,6 +97,21 @@ func (s *sampler) ranges(all bool) []armada.Range {
 		}
 		if hi > a.High {
 			hi = a.High
+		}
+		if b := s.sc.RangeBuckets; b > 0 {
+			// Snap the bounds outward to a b-bucket grid: nearby draws
+			// collapse onto byte-identical regions, so hot scans repeat
+			// exactly (what frontier caching rewards) instead of merely
+			// overlapping.
+			step := (a.High - a.Low) / float64(b)
+			lo = a.Low + math.Floor((lo-a.Low)/step)*step
+			hi = a.Low + math.Ceil((hi-a.Low)/step)*step
+			if hi <= lo {
+				hi = lo + step
+			}
+			if hi > a.High {
+				hi = a.High
+			}
 		}
 		rs[i] = armada.Range{Low: lo, High: hi}
 	}

@@ -38,6 +38,27 @@ var presets = []Scenario{
 		PageLimit: 512,
 	},
 	{
+		// Scan-dominated traffic over repeating hot ranges — the workload
+		// query sessions and the frontier cache exist for. Range bounds
+		// snap to a 64-bucket grid, so the zipf-hot scans repeat
+		// byte-identical regions (dashboards, result pages); paged walks
+		// run through sessions (descents_saved ≈ pages − 1 per walk), and
+		// repeated regions seed even page 1 from the shared cache
+		// (frontier_hits, frontier_cache.hit_rate). Rerun with
+		// -paged-no-session -frontier-cache 0 for the per-page-descent
+		// ablation (the cache alone would still seed per-page queries).
+		Name:          "scan-heavy",
+		Peers:         500,
+		Preload:       4000,
+		Ops:           4000,
+		Mix:           Mix{Publish: 5, Lookup: 5, Range: 20, RangePaged: 70},
+		Keys:          KeyDist{Kind: KeyZipf, ZipfS: 1.3},
+		RangeSize:     SizeDist{MinFrac: 0.01, MaxFrac: 0.05},
+		PageLimit:     256,
+		RangeBuckets:  64,
+		FrontierCache: 256,
+	},
+	{
 		// Sustained mixed traffic while the overlay churns hard, including
 		// crash-stops — the regime the paper's stable-network delay bounds
 		// say nothing about. Runs with 2-way replication so crashes lose

@@ -35,6 +35,18 @@ type OpReport struct {
 	Count  int `json:"count"`
 	Errors int `json:"errors"`
 	Misses int `json:"misses,omitempty"`
+	// Cancelled counts operations cut short by run shutdown (context
+	// cancellation mid-query or mid-walk). They are neither errors nor
+	// samples — a partial walk recorded normally would skew the page and
+	// match quantiles low — and are excluded from Count.
+	Cancelled int `json:"cancelled,omitempty"`
+	// DescentsSaved counts queries (pages, for range-paged) seeded from a
+	// captured descent frontier instead of descending the issuer's
+	// forward routing tree; FrontierHits is the subset seeded from the
+	// network's shared frontier cache (WithFrontierCache) rather than the
+	// walk's own session capture.
+	FrontierHits  int `json:"frontier_hits,omitempty"`
+	DescentsSaved int `json:"descents_saved,omitempty"`
 	// Throughput is Count over the run's wall-clock duration.
 	Throughput float64 `json:"throughput_per_sec"`
 	// LatencyMs is the wall-clock service latency in milliseconds.
@@ -47,11 +59,31 @@ type OpReport struct {
 	// Matches is the result-set size distribution (query kinds only; for
 	// range-paged operations, the total across the whole walk).
 	Matches Quantiles `json:"matches"`
-	// Pages and MatchesPerPage describe range-paged walks: how many pages
-	// one operation took and how many objects each page carried. Omitted
-	// (all zero) for every other kind.
-	Pages          Quantiles `json:"pages,omitzero"`
-	MatchesPerPage Quantiles `json:"matches_per_page,omitzero"`
+	// Pages, MatchesPerPage and MessagesPerPage describe range-paged
+	// walks: how many pages one operation took, how many objects each
+	// page carried and how many overlay messages reaching it cost (the
+	// session win shows here — frontier-seeded pages beyond the first
+	// cost one message per surviving destination instead of a descent).
+	// Omitted (all zero) for every other kind.
+	Pages           Quantiles `json:"pages,omitzero"`
+	MatchesPerPage  Quantiles `json:"matches_per_page,omitzero"`
+	MessagesPerPage Quantiles `json:"messages_per_page,omitzero"`
+}
+
+// FrontierCacheReport summarizes the shared frontier cache's activity
+// during one run (present only when the scenario enables the cache).
+type FrontierCacheReport struct {
+	// Capacity is the configured entry bound; Entries the count at run
+	// end.
+	Capacity int `json:"capacity"`
+	Entries  int `json:"entries"`
+	// Hits and Misses count range-query lookups during the run; Stale is
+	// the subset of misses that dropped an entry churn had invalidated.
+	// HitRate is Hits/(Hits+Misses).
+	Hits    int64   `json:"hits"`
+	Misses  int64   `json:"misses"`
+	Stale   int64   `json:"stale,omitempty"`
+	HitRate float64 `json:"hit_rate"`
 }
 
 // ChurnReport counts the churn events of one run.
@@ -93,6 +125,9 @@ type Report struct {
 	DurationSec float64 `json:"duration_sec"`
 	TotalOps    int     `json:"total_ops"`
 	TotalErrors int     `json:"total_errors"`
+	// TotalCancelled totals the per-op Cancelled counts: operations cut
+	// short by run shutdown, excluded from TotalOps and every sample.
+	TotalCancelled int `json:"total_cancelled,omitempty"`
 	// Throughput is TotalOps / DurationSec across all kinds.
 	Throughput float64 `json:"throughput_per_sec"`
 	// Ops maps operation-kind name → summary; kinds with zero weight are
@@ -115,7 +150,15 @@ type Report struct {
 	// replica, and ReplicaReadSpread is the per-query distribution of the
 	// fraction of deliveries a replica served (0 = all primary, 1 = all
 	// spread). Both present only on replicated runs.
-	ReplicaReads      int64      `json:"replica_reads,omitempty"`
-	ReplicaReadSpread Quantiles  `json:"replica_read_spread,omitzero"`
-	Intervals         []Snapshot `json:"intervals"`
+	ReplicaReads      int64     `json:"replica_reads,omitempty"`
+	ReplicaReadSpread Quantiles `json:"replica_read_spread,omitzero"`
+	// FrontierHits and DescentsSaved total the per-op counters: queries
+	// seeded from a cached frontier (skipping even their first descent)
+	// and queries seeded from any frontier, session captures included.
+	FrontierHits  int `json:"frontier_hits,omitempty"`
+	DescentsSaved int `json:"descents_saved,omitempty"`
+	// FrontierCache summarizes the shared cache's run activity; absent
+	// when the scenario runs without one.
+	FrontierCache *FrontierCacheReport `json:"frontier_cache,omitempty"`
+	Intervals     []Snapshot           `json:"intervals"`
 }

@@ -41,6 +41,11 @@ func New(net *armada.Network, sc Scenario) (*Runner, error) {
 		return nil, fmt.Errorf("%w: scenario declares %d replicas, network has %d",
 			ErrBadScenario, sc.Replicas, net.Replicas())
 	}
+	if cs, ok := net.FrontierCacheStats(); (sc.FrontierCache > 0) != ok ||
+		(ok && cs.Capacity != sc.FrontierCache) {
+		return nil, fmt.Errorf("%w: scenario declares a frontier cache of %d, network has %d",
+			ErrBadScenario, sc.FrontierCache, cs.Capacity)
+	}
 	return &Runner{net: net, sc: sc}, nil
 }
 
@@ -52,9 +57,7 @@ func Execute(ctx context.Context, sc Scenario) (*Report, error) {
 	if err := sc.validate(); err != nil {
 		return nil, err
 	}
-	net, err := armada.NewNetwork(sc.Peers,
-		armada.WithSeed(sc.Seed), armada.WithAttributes(sc.Attrs...),
-		armada.WithReplication(sc.Replicas))
+	net, err := armada.NewNetwork(sc.Peers, sc.NetworkOptions()...)
 	if err != nil {
 		return nil, err
 	}
@@ -93,6 +96,7 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 	coll := &collector{trackSpread: r.sc.Replicas > 1}
 	startPeers := r.net.Size()
 	startReRepl := r.net.ReReplications()
+	startCache, trackCache := r.net.FrontierCacheStats()
 	start := time.Now()
 
 	var bg sync.WaitGroup
@@ -135,6 +139,22 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 	coll.takeSnapshot(elapsed, r.net.Size()) // final snapshot, always present
 	rep := r.report(elapsed, startPeers, coll)
 	rep.ReReplications = r.net.ReReplications() - startReRepl
+	if trackCache {
+		// Report this run's slice of the cache counters (the network may
+		// be reused across runs).
+		end, _ := r.net.FrontierCacheStats()
+		fc := &FrontierCacheReport{
+			Capacity: end.Capacity,
+			Entries:  end.Entries,
+			Hits:     end.Hits - startCache.Hits,
+			Misses:   end.Misses - startCache.Misses,
+			Stale:    end.Stale - startCache.Stale,
+		}
+		if lookups := fc.Hits + fc.Misses; lookups > 0 {
+			fc.HitRate = float64(fc.Hits) / float64(lookups)
+		}
+		rep.FrontierCache = fc
+	}
 	return rep, nil
 }
 
@@ -273,29 +293,55 @@ func (r *Runner) execOp(ctx context.Context, smp *sampler, pool *keyPool, coll *
 	}
 }
 
-// doPagedRange walks one range query page by page (WithLimit /
-// WithOffsetID) until the cursor is exhausted. The whole walk is one
-// operation: its latency spans all pages, hop metrics accumulate across
-// them (delay takes the max — pages could be issued concurrently), and the
-// per-page result sizes land in the matches-per-page sample.
+// doPagedRange walks one range query page by page until the cursor is
+// exhausted — through a query session by default (page 1 descends and
+// captures the frontier; later pages seed directly at the surviving
+// destination peers), or as independent per-page Do queries under the
+// Scenario.PagedNoSession ablation. The whole walk is one operation: its
+// latency spans all pages, hop metrics accumulate across them (delay
+// takes the max — pages could be issued concurrently), and per-page
+// result sizes, destinations and message costs land in the per-page
+// samples. A walk cut short by run shutdown is counted as a cancelled
+// operation, not a sample — partial walks would skew the page and match
+// quantiles low.
 func (r *Runner) doPagedRange(ctx context.Context, smp *sampler, oc *opCollector, coll *collector) {
 	ranges := smp.ranges(false)
 	start := time.Now()
+
+	var fetch func(offset string) (*armada.Result, error)
+	if r.sc.PagedNoSession {
+		fetch = func(offset string) (*armada.Result, error) {
+			opts := []armada.QueryOption{armada.WithLimit(r.sc.PageLimit)}
+			if offset != "" {
+				opts = append(opts, armada.WithOffsetID(offset))
+			}
+			return r.net.Do(ctx, armada.NewRange(ranges, opts...))
+		}
+	} else {
+		sess, err := r.net.OpenSession(armada.NewRange(ranges, armada.WithLimit(r.sc.PageLimit)))
+		if err != nil {
+			oc.record(start, err)
+			return
+		}
+		defer sess.Close()
+		fetch = func(string) (*armada.Result, error) { return sess.Next(ctx) }
+	}
+
 	var (
-		offset                    string
-		matches, delay, msgs      int
-		deliveries, replicaServed int
-		pageSizes, pageDests      []int // flushed only when the whole walk succeeds
+		offset                       string
+		matches, delay, msgs         int
+		deliveries, replicaServed    int
+		frontierHits, descentsSaved  int
+		pageSizes, pageDests, pageMs []int // flushed only when the whole walk succeeds
 	)
 	for {
-		opts := []armada.QueryOption{armada.WithLimit(r.sc.PageLimit)}
-		if offset != "" {
-			opts = append(opts, armada.WithOffsetID(offset))
-		}
-		res, err := r.net.Do(ctx, armada.NewRange(ranges, opts...))
+		res, err := fetch(offset)
 		if err != nil {
 			if ctx.Err() != nil {
-				return // shutdown races are not workload errors
+				// Run shutdown cut the walk short: a cancelled op, not an
+				// error and not a (partial) sample.
+				oc.cancelled.Add(1)
+				return
 			}
 			oc.record(start, err)
 			return
@@ -307,8 +353,11 @@ func (r *Runner) doPagedRange(ctx context.Context, smp *sampler, oc *opCollector
 		}
 		deliveries += res.Stats.Deliveries
 		replicaServed += res.Stats.ReplicaServed
+		frontierHits += res.Stats.FrontierHits
+		descentsSaved += res.Stats.DescentsSaved
 		pageSizes = append(pageSizes, len(res.Objects))
 		pageDests = append(pageDests, res.Stats.DestPeers) // per page: the fan-out each page pays
+		pageMs = append(pageMs, res.Stats.Messages)        // per page: what reaching it cost
 		if res.NextOffsetID == "" {
 			break
 		}
@@ -322,7 +371,10 @@ func (r *Runner) doPagedRange(ctx context.Context, smp *sampler, oc *opCollector
 	for i := range pageSizes {
 		oc.perPage.AddInt(pageSizes[i])
 		oc.dest.AddInt(pageDests[i])
+		oc.perPageMsgs.AddInt(pageMs[i])
 	}
+	oc.frontierHits.Add(int64(frontierHits))
+	oc.descentsSaved.Add(int64(descentsSaved))
 	coll.noteReadSpread(deliveries, replicaServed)
 }
 
@@ -342,7 +394,8 @@ func (r *Runner) doQuery(ctx context.Context, q armada.Query, oc *opCollector, c
 	start := time.Now()
 	res, err := r.net.Do(ctx, q)
 	if err != nil && ctx.Err() != nil {
-		return nil // shutdown races are not workload errors
+		oc.cancelled.Add(1) // shutdown races are not workload errors
+		return nil
 	}
 	oc.record(start, err)
 	if err != nil {
@@ -352,6 +405,8 @@ func (r *Runner) doQuery(ctx context.Context, q armada.Query, oc *opCollector, c
 	oc.msgs.AddInt(res.Stats.Messages)
 	oc.dest.AddInt(res.Stats.DestPeers)
 	oc.matches.AddInt(len(res.Objects))
+	oc.frontierHits.Add(int64(res.Stats.FrontierHits))
+	oc.descentsSaved.Add(int64(res.Stats.DescentsSaved))
 	coll.noteReadSpread(res.Stats.Deliveries, res.Stats.ReplicaServed)
 	return res
 }
@@ -464,20 +519,25 @@ func (r *Runner) report(elapsed time.Duration, startPeers int, coll *collector) 
 	for k := OpKind(0); k < numOps; k++ {
 		oc := &coll.ops[k]
 		count := int(oc.count.Load())
-		if count == 0 {
+		cancelled := int(oc.cancelled.Load())
+		if count == 0 && cancelled == 0 {
 			continue
 		}
 		op := OpReport{
-			Count:          count,
-			Errors:         int(oc.errs.Load()),
-			Misses:         int(oc.misses.Load()),
-			LatencyMs:      quantilesOf(oc.lat.Snapshot()),
-			HopDelay:       quantilesOf(oc.delay.Snapshot()),
-			Messages:       quantilesOf(oc.msgs.Snapshot()),
-			DestPeers:      quantilesOf(oc.dest.Snapshot()),
-			Matches:        quantilesOf(oc.matches.Snapshot()),
-			Pages:          quantilesOf(oc.pages.Snapshot()),
-			MatchesPerPage: quantilesOf(oc.perPage.Snapshot()),
+			Count:           count,
+			Errors:          int(oc.errs.Load()),
+			Misses:          int(oc.misses.Load()),
+			Cancelled:       cancelled,
+			FrontierHits:    int(oc.frontierHits.Load()),
+			DescentsSaved:   int(oc.descentsSaved.Load()),
+			LatencyMs:       quantilesOf(oc.lat.Snapshot()),
+			HopDelay:        quantilesOf(oc.delay.Snapshot()),
+			Messages:        quantilesOf(oc.msgs.Snapshot()),
+			DestPeers:       quantilesOf(oc.dest.Snapshot()),
+			Matches:         quantilesOf(oc.matches.Snapshot()),
+			Pages:           quantilesOf(oc.pages.Snapshot()),
+			MatchesPerPage:  quantilesOf(oc.perPage.Snapshot()),
+			MessagesPerPage: quantilesOf(oc.perPageMsgs.Snapshot()),
 		}
 		if secs > 0 {
 			op.Throughput = float64(count) / secs
@@ -485,7 +545,10 @@ func (r *Runner) report(elapsed time.Duration, startPeers int, coll *collector) 
 		rep.Ops[k.String()] = op
 		rep.TotalOps += count
 		rep.TotalErrors += op.Errors
+		rep.TotalCancelled += cancelled
 		rep.AvailabilityMisses += op.Misses
+		rep.FrontierHits += op.FrontierHits
+		rep.DescentsSaved += op.DescentsSaved
 	}
 	if secs > 0 {
 		rep.Throughput = float64(rep.TotalOps) / secs
@@ -495,17 +558,25 @@ func (r *Runner) report(elapsed time.Duration, startPeers int, coll *collector) 
 
 // opCollector gathers one operation kind's metrics from many workers.
 type opCollector struct {
-	count  atomic.Int64
-	errs   atomic.Int64
-	misses atomic.Int64
+	count     atomic.Int64
+	errs      atomic.Int64
+	misses    atomic.Int64
+	cancelled atomic.Int64 // ops cut short by run shutdown (no sample recorded)
 
-	lat     stats.SafeSample // wall-clock service time, ms
-	delay   stats.SafeSample // hop delay (query kinds)
-	msgs    stats.SafeSample // overlay messages (query kinds)
-	dest    stats.SafeSample // destination peers (query kinds; per page for range-paged)
-	matches stats.SafeSample // result-set size (query kinds; whole walk for range-paged)
-	pages   stats.SafeSample // pages per walk (range-paged only)
-	perPage stats.SafeSample // matches per page (range-paged only)
+	// Frontier reuse: queries seeded from a captured descent frontier
+	// (descentsSaved) and the subset seeded from the shared cache
+	// (frontierHits).
+	frontierHits  atomic.Int64
+	descentsSaved atomic.Int64
+
+	lat         stats.SafeSample // wall-clock service time, ms
+	delay       stats.SafeSample // hop delay (query kinds)
+	msgs        stats.SafeSample // overlay messages (query kinds)
+	dest        stats.SafeSample // destination peers (query kinds; per page for range-paged)
+	matches     stats.SafeSample // result-set size (query kinds; whole walk for range-paged)
+	pages       stats.SafeSample // pages per walk (range-paged only)
+	perPage     stats.SafeSample // matches per page (range-paged only)
+	perPageMsgs stats.SafeSample // messages per page (range-paged only)
 }
 
 // record counts one completed operation; successful ones contribute their

@@ -218,6 +218,27 @@ type Scenario struct {
 	TopK int `json:"top_k,omitempty"`
 	// PageLimit is the page size of range-paged operations (default 256).
 	PageLimit int `json:"page_limit,omitempty"`
+	// PagedNoSession runs range-paged walks as independent per-page Do
+	// queries instead of a query session — the ablation that measures
+	// what session frontier reuse saves, the way flood measures what
+	// pruning saves. Note that per-page Do queries still consult the
+	// shared frontier cache when FrontierCache is set; for a full
+	// per-page-descent baseline disable both (the CLI pairing is
+	// `-paged-no-session -frontier-cache 0`).
+	PagedNoSession bool `json:"paged_no_session,omitempty"`
+	// FrontierCache, when positive, builds the network with an
+	// issuer-side frontier cache of that capacity
+	// (armada.WithFrontierCache): repeated range queries over covered hot
+	// regions skip their descent, reported as frontier_hits and the
+	// report's frontier_cache block. Default 0 — no cache.
+	FrontierCache int `json:"frontier_cache,omitempty"`
+	// RangeBuckets, when positive, snaps every range query's bounds
+	// outward to a grid of that many buckets per attribute space. Hot
+	// workloads then repeat byte-identical regions — the repeating-scan
+	// access pattern (dashboards, result pages) the frontier cache
+	// exists for — instead of the continuous never-repeating bounds the
+	// samplers otherwise draw. Default 0 — continuous bounds.
+	RangeBuckets int `json:"range_buckets,omitempty"`
 
 	Mix       Mix      `json:"mix"`
 	Keys      KeyDist  `json:"keys"`
@@ -293,6 +314,22 @@ func (s Scenario) withDefaults() Scenario {
 	return s
 }
 
+// NetworkOptions returns the armada.NewNetwork options a defaults-filled
+// scenario requires — seed, attribute spaces, replication degree and the
+// frontier cache. Execute and the armada-load command both build their
+// network from it, so a scenario can never run against a mismatched one.
+func (s Scenario) NetworkOptions() []armada.Option {
+	opts := []armada.Option{
+		armada.WithSeed(s.Seed),
+		armada.WithAttributes(s.Attrs...),
+		armada.WithReplication(s.Replicas),
+	}
+	if s.FrontierCache > 0 {
+		opts = append(opts, armada.WithFrontierCache(s.FrontierCache))
+	}
+	return opts
+}
+
 // Normalize returns the scenario with every zero field defaulted, and an
 // ErrBadScenario error when the result is not executable — the same
 // preparation New and Execute apply internally. Callers that build the
@@ -350,6 +387,12 @@ func (s Scenario) validate() error {
 	}
 	if s.PageLimit < 1 && s.Mix.RangePaged > 0 {
 		return bad("range-paged weight set but page limit = %d", s.PageLimit)
+	}
+	if s.FrontierCache < 0 {
+		return bad("negative frontier cache capacity %d", s.FrontierCache)
+	}
+	if s.RangeBuckets < 0 {
+		return bad("negative range buckets %d", s.RangeBuckets)
 	}
 	if s.Churn.JoinPerSec < 0 || s.Churn.LeavePerSec < 0 || s.Churn.FailPerSec < 0 {
 		return bad("negative churn rate")
