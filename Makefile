@@ -17,16 +17,19 @@ test:
 race:
 	$(GO) test -race ./...
 
-# The CI load-smoke invocation, gated against the committed budget.
+# The CI load-smoke invocation, gated against the committed budget. Pinned
+# to GOMAXPROCS=1 to match the baseline's env stamp (the compare gate
+# refuses to gate across a GOMAXPROCS mismatch).
 smoke:
-	$(GO) run ./cmd/armada-load -scenario mixed -ops 2000 -peers 500 -v -compare BENCH_baseline.json
+	GOMAXPROCS=1 $(GO) run ./cmd/armada-load -scenario mixed -ops 2000 -peers 500 -v -compare BENCH_baseline.json
 
 # Regenerate the committed compare-gate budget as the per-op worst of three
 # runs of the CI invocation. Run after any change that legitimately moves
 # the mixed scenario's latency profile (and commit the result), so the
-# regression gate is re-budgeted in one command.
+# regression gate is re-budgeted in one command. GOMAXPROCS is pinned so
+# the baseline's env stamp matches the 1-CPU CI leg that gates against it.
 rebaseline:
-	$(GO) run ./cmd/armada-load -scenario mixed -ops 2000 -peers 500 -worst-of 3 -out BENCH_baseline.json
+	GOMAXPROCS=1 $(GO) run ./cmd/armada-load -scenario mixed -ops 2000 -peers 500 -worst-of 3 -out BENCH_baseline.json
 	@echo "BENCH_baseline.json regenerated (worst-of-3); review and commit it"
 
 # Same, for the GOMAXPROCS=2 load-smoke leg: its tails are stabler than

@@ -43,6 +43,7 @@ import (
 	"armada/internal/core"
 	"armada/internal/fissione"
 	"armada/internal/kautz"
+	"armada/internal/loadctl"
 	"armada/internal/naming"
 	"armada/internal/session"
 )
@@ -81,6 +82,9 @@ type Network struct {
 	// WithFrontierCache): range queries capture their descent frontiers
 	// into it and seed from covering entries, skipping the descent.
 	fcache *session.Cache
+	// lctl is the background load controller (nil without
+	// WithLoadControl); Close stops it.
+	lctl *loadctl.Controller
 
 	// rng drives default issuer selection; it has its own mutex so peer
 	// sampling never serializes behind mutations or other samplers.
@@ -131,14 +135,18 @@ func NewNetwork(peers int, opts ...Option) (*Network, error) {
 	if cfg.frontierCache > 0 {
 		fcache = session.NewCache(cfg.frontierCache)
 	}
-	return &Network{
+	nw := &Network{
 		net:    net,
 		tree:   tree,
 		eng:    eng,
 		mode:   mode,
 		fcache: fcache,
 		rng:    rand.New(rand.NewSource(cfg.seed + 1)),
-	}, nil
+	}
+	if cfg.loadControl != nil {
+		nw.startLoadControl(*cfg.loadControl, peers)
+	}
+	return nw, nil
 }
 
 // Size returns the number of peers.

@@ -85,6 +85,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		noSess   = fs.Bool("paged-no-session", false, "run range-paged walks as independent per-page queries instead of a session (the descent-reuse ablation)")
 		fcache   = fs.Int("frontier-cache", 0, "issuer-side frontier cache capacity; repeated range queries over covered regions skip their descent (0 = no cache)")
 		rangeBk  = fs.Int("range-buckets", 0, "snap range-query bounds to a grid of this many buckets per attribute space so hot scans repeat exactly (0 = continuous bounds)")
+		loadCtl  = fs.Bool("load-control", false, "run the adaptive load controller: auto-split regions under sustained delivery load and migrate ownership toward hot regions")
+		splitThr = fs.Float64("split-threshold", 0, "load control: sustained deliveries/sec on one region that triggers a split (0 = armada default)")
+		hotDrift = fs.Duration("hot-drift", 0, "hotspot keys: sweep the hot interval across the key space once per this period (0 = pinned hotspot)")
 		queueCap = fs.Int("queue-cap", 0, "open-loop dispatch queue bound (default 4×workers); full queue drops arrivals")
 		gogc     = fs.Int("gogc", 600, "GOGC percent for the run (load generators allocate fast against a small live heap); 0 leaves the runtime default, and an explicit GOGC env var always wins")
 		compare  = fs.String("compare", "", "baseline report JSON (BENCH_baseline.json); exit non-zero on p99 latency regression")
@@ -215,6 +218,17 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 				keep(fmt.Errorf("-range-buckets %d: must be at least 0", *rangeBk))
 			}
 			sc.RangeBuckets = *rangeBk
+		case "load-control":
+			sc.LoadControl = *loadCtl
+			if !*loadCtl {
+				// Turning the controller off also drops a preset's
+				// threshold override, which is meaningless without it.
+				sc.SplitThreshold = 0
+			}
+		case "split-threshold":
+			sc.SplitThreshold = *splitThr
+		case "hot-drift":
+			sc.HotDrift = *hotDrift
 		}
 	})
 	if parseErr != nil {
@@ -236,6 +250,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return nil, err
 		}
+		defer net.Close()
 		runner, err := workload.New(net, sc)
 		if err != nil {
 			return nil, err
@@ -371,6 +386,9 @@ const compareErrRateSlack = 0.02
 // unlucky scheduler stall while a genuine regression (an O(store) scan, a
 // lock convoy) drags the whole tail.
 func compareReports(w io.Writer, rep, base *workload.Report, maxRegress float64) error {
+	if err := checkEnv(w, rep, base); err != nil {
+		return err
+	}
 	errRate := func(o workload.OpReport) float64 {
 		if o.Count == 0 {
 			return 0
@@ -415,6 +433,37 @@ func compareReports(w io.Writer, rep, base *workload.Report, maxRegress float64)
 			maxRegress*100, compareAbsFloorMs, compareErrRateSlack*100, strings.Join(regressed, ", "))
 	}
 	fmt.Fprintln(w, "armada-load: no p99 or error-rate regression against baseline")
+	return nil
+}
+
+// checkEnv gates the comparison on the environments the two reports were
+// produced in. Latency budgets are meaningless across a GOMAXPROCS
+// mismatch (the 1-CPU and 2-CPU baselines differ by integer factors), so
+// that one is a hard error; CPU-count and Go-version drift merely widen
+// the noise, so they warn loudly and let the gate proceed.
+func checkEnv(w io.Writer, rep, base *workload.Report) error {
+	if base.Env == nil {
+		fmt.Fprintln(w, "armada-load: WARNING: baseline has no env metadata — regenerate it with `make rebaseline` to gate environment drift")
+		return nil
+	}
+	if rep.Env == nil {
+		// Reports this binary produces always carry Env; reaching here
+		// means the run report was hand-edited or produced by an older
+		// binary, which the gate cannot vouch for.
+		return fmt.Errorf("run report has no env metadata; re-run with this binary")
+	}
+	if rep.Env.GoMaxProcs != base.Env.GoMaxProcs {
+		return fmt.Errorf("env mismatch: run GOMAXPROCS=%d vs baseline GOMAXPROCS=%d — latency budgets do not transfer; rerun with GOMAXPROCS=%d or regenerate the baseline (make rebaseline / rebaseline-2cpu)",
+			rep.Env.GoMaxProcs, base.Env.GoMaxProcs, base.Env.GoMaxProcs)
+	}
+	if rep.Env.NumCPU != base.Env.NumCPU {
+		fmt.Fprintf(w, "armada-load: WARNING: host CPU count changed (run %d vs baseline %d); expect extra noise in the comparison\n",
+			rep.Env.NumCPU, base.Env.NumCPU)
+	}
+	if rep.Env.GoVersion != base.Env.GoVersion {
+		fmt.Fprintf(w, "armada-load: WARNING: Go version changed (run %s vs baseline %s); consider regenerating the baseline\n",
+			rep.Env.GoVersion, base.Env.GoVersion)
+	}
 	return nil
 }
 

@@ -6,6 +6,8 @@ import (
 	"encoding/json"
 	"strings"
 	"testing"
+
+	"armada/workload"
 )
 
 // runJSON executes the CLI and decodes its JSON report.
@@ -27,7 +29,7 @@ func TestList(t *testing.T) {
 	if err := run(context.Background(), []string{"-list"}, &stdout, &stderr); err != nil {
 		t.Fatal(err)
 	}
-	for _, name := range []string{"steady", "zipf-hot", "scan-heavy", "churn-heavy", "flood-storm", "mixed"} {
+	for _, name := range []string{"steady", "zipf-hot", "scan-heavy", "hot-drift", "churn-heavy", "flood-storm", "mixed"} {
 		if !strings.Contains(stdout.String(), name) {
 			t.Errorf("-list output missing preset %q:\n%s", name, stdout.String())
 		}
@@ -175,5 +177,75 @@ func TestBadFlags(t *testing.T) {
 		if err := run(context.Background(), args, &stdout, &stderr); err == nil {
 			t.Errorf("run(%v) succeeded, want error", args)
 		}
+	}
+}
+
+func TestHotDriftSmall(t *testing.T) {
+	m := runJSON(t, "-scenario", "hot-drift", "-peers", "100", "-duration", "300ms",
+		"-preload", "200", "-hot-drift", "500ms")
+	lc, ok := m["load_control"].(map[string]any)
+	if !ok {
+		t.Fatalf("report missing load_control block: %v", m)
+	}
+	if _, ok := lc["auto_splits"]; !ok {
+		t.Errorf("load_control missing auto_splits: %v", lc)
+	}
+	if _, ok := m["delivery_skew"].(map[string]any); !ok {
+		t.Error("report missing delivery_skew block")
+	}
+	if _, ok := m["env"].(map[string]any); !ok {
+		t.Error("report missing env block")
+	}
+	// -load-control=false overrides the preset: controller off, block gone,
+	// and the preset's split threshold dropped with it.
+	m = runJSON(t, "-scenario", "hot-drift", "-peers", "100", "-duration", "300ms",
+		"-preload", "200", "-load-control=false")
+	if _, ok := m["load_control"]; ok {
+		t.Error("-load-control=false still reported a load_control block")
+	}
+}
+
+func TestCompareEnvGate(t *testing.T) {
+	mkRep := func(env *workload.EnvReport) *workload.Report {
+		return &workload.Report{Env: env, Ops: map[string]workload.OpReport{}}
+	}
+	env := func(procs int, version string) *workload.EnvReport {
+		return &workload.EnvReport{GoMaxProcs: procs, NumCPU: 1, GoVersion: version}
+	}
+	var buf bytes.Buffer
+
+	// Same GOMAXPROCS: passes.
+	if err := compareReports(&buf, mkRep(env(1, "go1.24.0")), mkRep(env(1, "go1.24.0")), 0.25); err != nil {
+		t.Fatalf("matching envs rejected: %v", err)
+	}
+
+	// GOMAXPROCS mismatch: hard failure naming the knob.
+	err := compareReports(&buf, mkRep(env(2, "go1.24.0")), mkRep(env(1, "go1.24.0")), 0.25)
+	if err == nil || !strings.Contains(err.Error(), "GOMAXPROCS") {
+		t.Fatalf("GOMAXPROCS mismatch: err = %v, want a hard env error", err)
+	}
+
+	// Baseline without env metadata: loud warning, gate proceeds.
+	buf.Reset()
+	if err := compareReports(&buf, mkRep(env(1, "go1.24.0")), mkRep(nil), 0.25); err != nil {
+		t.Fatalf("nil baseline env rejected: %v", err)
+	}
+	if !strings.Contains(buf.String(), "WARNING") {
+		t.Errorf("no warning for a baseline without env metadata:\n%s", buf.String())
+	}
+
+	// Run report without env metadata: the binary always stamps it, so a
+	// bare report is unverifiable — hard failure.
+	if err := compareReports(&buf, mkRep(nil), mkRep(env(1, "go1.24.0")), 0.25); err == nil {
+		t.Error("run report without env metadata accepted")
+	}
+
+	// Go version drift: warning only.
+	buf.Reset()
+	if err := compareReports(&buf, mkRep(env(1, "go1.25.0")), mkRep(env(1, "go1.24.0")), 0.25); err != nil {
+		t.Fatalf("version drift rejected: %v", err)
+	}
+	if !strings.Contains(buf.String(), "Go version") {
+		t.Errorf("no warning for Go version drift:\n%s", buf.String())
 	}
 }

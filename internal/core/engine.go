@@ -541,6 +541,10 @@ func (e *Engine) prefixIntersectsBox(prefix kautz.Str, box naming.Box) bool {
 // preceded by Limit collected matches with smaller ObjectIDs on this peer
 // alone, so it can never belong to the current page.
 func (e *Engine) deliver(state *queryState, owner *fissione.Peer, region kautz.Region, depth int) {
+	// Load accounting: one delivery addressed to this owner's region,
+	// whichever replica ends up serving the scan — ownership is what the
+	// load controller splits and migrates.
+	owner.NoteDelivery()
 	serving, scan, ok := e.serveTarget(owner, region, state.cfg.Policy)
 	if state.cfg.Trace != nil {
 		state.cfg.Trace(owner.ID(), serving.ID(), depth, 0)

@@ -1,0 +1,114 @@
+package fissione
+
+import (
+	"errors"
+	"testing"
+
+	"armada/internal/kautz"
+)
+
+func TestSplitRegionLocalMinNoCascade(t *testing.T) {
+	n, err := New(24, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 90; i++ { // 93 peers: lengths 5 and 6 coexist
+		if _, err := n.Join(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A shortest peer is a local length-minimum: splitting it needs no
+	// cascade.
+	var shortest kautz.Str
+	for _, id := range n.PeerIDs() {
+		if shortest == "" || len(id) < len(shortest) {
+			shortest = id
+		}
+	}
+	kept, created, extra, err := n.SplitRegion(shortest)
+	if err != nil {
+		t.Fatalf("SplitRegion(%q): %v", shortest, err)
+	}
+	if extra != 0 {
+		t.Errorf("splitting a local minimum cascaded %d splits", extra)
+	}
+	if len(kept) != len(shortest)+1 || len(created) != len(shortest)+1 {
+		t.Errorf("split of %q produced %q and %q, want one symbol deeper", shortest, kept, created)
+	}
+	if err := n.Audit(); err != nil {
+		t.Fatalf("audit after split: %v", err)
+	}
+}
+
+func TestSplitRegionCascadesOnDeepTarget(t *testing.T) {
+	n, err := New(24, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if _, err := n.Join(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Repeatedly deepen one spot of the namespace: once the target is
+	// deeper than its neighborhood, SplitRegion must pre-split the shorter
+	// neighbors (extra > 0) to preserve the length invariant — and a
+	// budget-exhausted attempt must stop between consistent states.
+	rep := kautz.MinExtend(n.PeerIDs()[0], n.K())
+	totalExtra := 0
+	for i := 0; i < 5; i++ {
+		for attempt := 0; ; attempt++ {
+			if attempt > 20 {
+				t.Fatalf("deepening %d stuck", i+1)
+			}
+			owner, err := n.OwnerOf(rep)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, _, extra, err := n.SplitRegion(owner)
+			totalExtra += extra
+			if err != nil {
+				if auditErr := n.Audit(); auditErr != nil {
+					t.Fatalf("budget-stopped split left the network inconsistent: %v", auditErr)
+				}
+				continue
+			}
+			break
+		}
+		if err := n.Audit(); err != nil {
+			t.Fatalf("audit after deepening %d: %v", i+1, err)
+		}
+	}
+	if totalExtra == 0 {
+		t.Error("five stacked deepenings never cascaded")
+	}
+}
+
+func TestSplitRegionUnknownPeer(t *testing.T) {
+	n, err := New(24, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := n.SplitRegion("0101"); !errors.Is(err, ErrNoSuchPeer) {
+		t.Errorf("err = %v, want ErrNoSuchPeer", err)
+	}
+}
+
+func TestSplitRegionBumpsEpoch(t *testing.T) {
+	n, err := New(24, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if _, err := n.Join(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := n.Epoch()
+	if _, _, _, err := n.SplitRegion(n.PeerIDs()[0]); err != nil {
+		t.Fatal(err)
+	}
+	if n.Epoch() <= before {
+		t.Errorf("epoch %d -> %d across a region split, want a bump", before, n.Epoch())
+	}
+}

@@ -77,6 +77,14 @@ type Peer struct {
 	// policy and the read-spread metric.
 	served atomic.Int64
 
+	// deliveries counts query deliveries addressed to this peer as region
+	// owner — the per-region load signal the load controller samples. It
+	// advances regardless of which replica serves the scan (ownership, not
+	// serving, is the unit splits and migrations act on) and regardless of
+	// replication degree, unlike served, which only moves on replicated
+	// networks.
+	deliveries atomic.Int64
+
 	// mu guards store. Routing-table fields above are only written during
 	// topology mutation, which excludes all other operations externally.
 	mu    sync.RWMutex
@@ -113,6 +121,13 @@ func (p *Peer) ServedReads() int64 { return p.served.Load() }
 
 // NoteServed records one served region scan.
 func (p *Peer) NoteServed() { p.served.Add(1) }
+
+// Deliveries returns how many query deliveries have addressed this peer as
+// its region's owner.
+func (p *Peer) Deliveries() int64 { return p.deliveries.Load() }
+
+// NoteDelivery records one query delivery addressed to this peer's region.
+func (p *Peer) NoteDelivery() { p.deliveries.Add(1) }
 
 // storedCompare is the canonical total order of the index: (ObjectID,
 // Name, Values lexicographic). Fully equal elements (duplicate

@@ -1,0 +1,238 @@
+package armada
+
+import (
+	"fmt"
+	"time"
+
+	"armada/internal/kautz"
+	"armada/internal/loadctl"
+)
+
+// LoadControlConfig tunes the adaptive load controller enabled by
+// WithLoadControl. Zero values take the noted defaults.
+type LoadControlConfig struct {
+	// SampleInterval is how often the controller samples every peer's
+	// delivery counter (default 100ms).
+	SampleInterval time.Duration
+	// HalfLife is the EWMA half-life of the per-region delivery rate
+	// (default 500ms): how long a load change takes to show half its
+	// magnitude. Longer half-lives demand more sustained heat before any
+	// action fires.
+	HalfLife time.Duration
+	// SplitThreshold is the sustained per-region delivery rate
+	// (deliveries/second) above which the controller intervenes (default
+	// 1000).
+	SplitThreshold float64
+	// Cooldown separates consecutive control actions (default 300ms).
+	Cooldown time.Duration
+	// MinRegionWidth is the minimum number of free ObjectID symbols a
+	// region must keep after splitting (default 4); narrower regions are
+	// never split.
+	MinRegionWidth int
+	// MaxGrowth caps the number of peers auto-splits may add. Zero picks
+	// an eighth of the initial network size (at least 8). At the cap,
+	// relief continues through migration when Migrate is set.
+	MaxGrowth int
+	// Migrate enables ownership migration once MaxGrowth is exhausted: the
+	// coldest sufficiently idle peer leaves and the hot region splits, so
+	// ownership capacity follows the load at constant network size.
+	Migrate bool
+}
+
+// WithLoadControl runs a background load controller on the network: it
+// samples every peer's query-delivery counter, keeps per-region EWMA
+// rates, auto-splits regions whose sustained rate crosses the threshold
+// and — at the growth cap, when enabled — migrates ownership from the
+// coldest peer toward the hot region. Every action is a regular topology
+// mutation: it runs under the topology write lock, repairs replica groups
+// and bumps the topology epoch, so cached frontiers and open sessions
+// invalidate exactly as they do under churn.
+//
+// A network built with load control owns a background goroutine; call
+// Close when done with the network to stop it.
+func WithLoadControl(cfg LoadControlConfig) Option {
+	return optionFunc(func(c *config) error {
+		if cfg.SampleInterval < 0 || cfg.HalfLife < 0 || cfg.Cooldown < 0 {
+			return fmt.Errorf("%w: negative load-control duration", errBadOption)
+		}
+		if cfg.SplitThreshold < 0 {
+			return fmt.Errorf("%w: negative load-control split threshold %v", errBadOption, cfg.SplitThreshold)
+		}
+		if cfg.MinRegionWidth < 0 || cfg.MaxGrowth < 0 {
+			return fmt.Errorf("%w: negative load-control width or growth bound", errBadOption)
+		}
+		c.loadControl = &cfg
+		return nil
+	})
+}
+
+// startLoadControl builds and starts the network's controller; called once
+// from NewNetwork after the overlay is up.
+func (n *Network) startLoadControl(cfg LoadControlConfig, peers int) {
+	if cfg.MaxGrowth == 0 {
+		cfg.MaxGrowth = max(8, peers/8)
+	}
+	n.lctl = loadctl.New(loadctl.Config{
+		SampleInterval: cfg.SampleInterval,
+		HalfLife:       cfg.HalfLife,
+		SplitThreshold: cfg.SplitThreshold,
+		Cooldown:       cfg.Cooldown,
+		MinRegionWidth: cfg.MinRegionWidth,
+		MaxGrowth:      cfg.MaxGrowth,
+		Migrate:        cfg.Migrate,
+	}, loadActuator{n})
+	n.lctl.Start()
+}
+
+// Close releases the network's background resources — today, the load
+// controller's goroutine. It is idempotent and a no-op on networks built
+// without WithLoadControl.
+func (n *Network) Close() error {
+	if n.lctl != nil {
+		n.lctl.Stop()
+	}
+	return nil
+}
+
+// loadActuator adapts the Network to the controller: samples under the
+// topology read lock, acts under the write lock.
+type loadActuator struct{ n *Network }
+
+func (a loadActuator) Sample() []loadctl.Sample {
+	a.n.mu.RLock()
+	defer a.n.mu.RUnlock()
+	k := a.n.net.K()
+	ids := a.n.net.PeerIDs()
+	out := make([]loadctl.Sample, 0, len(ids))
+	for _, id := range ids {
+		p, ok := a.n.net.Peer(id)
+		if !ok {
+			continue
+		}
+		out = append(out, loadctl.Sample{
+			ID:         string(id),
+			Width:      k - len(id),
+			Deliveries: p.Deliveries(),
+		})
+	}
+	return out
+}
+
+func (a loadActuator) Split(id string) (int, error) { return a.n.splitRegion(id) }
+func (a loadActuator) Migrate(donor, hot string) (int, error) {
+	return a.n.migrateOwnership(donor, hot)
+}
+
+// splitRegion splits the identified peer's region under the topology write
+// lock, returning how many extra peers invariant-restoring cascade splits
+// created. The epoch bump happens inside the fissione split, so frontiers
+// and sessions invalidate like they do for joins.
+func (n *Network) splitRegion(id string) (extra int, err error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	_, _, extra, err = n.net.SplitRegion(kautz.Str(id))
+	return extra, wrapFissioneErr(err, id)
+}
+
+// migrateOwnership moves ownership capacity from the donor peer to the hot
+// peer's region at constant network size: the donor leaves (its region
+// merges into a neighbor), then the hot region — re-resolved through a
+// representative ObjectID, since the departure may have renamed or widened
+// the hot peer — is split. Both steps are ordinary topology mutations;
+// each leaves the network fully consistent, so a split failing after a
+// successful departure aborts the migration without corrupting anything.
+func (n *Network) migrateOwnership(donor, hot string) (extra int, err error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if donor == hot {
+		return 0, fmt.Errorf("armada: migration donor and hot region are both %q", donor)
+	}
+	hotID := kautz.Str(hot)
+	if _, ok := n.net.Peer(hotID); !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNoSuchPeer, hot)
+	}
+	rep := kautz.MinExtend(hotID, n.net.K())
+	if err := n.net.Leave(kautz.Str(donor)); err != nil {
+		return 0, wrapFissioneErr(err, donor)
+	}
+	owner, err := n.net.OwnerOf(rep)
+	if err != nil {
+		return 0, err
+	}
+	_, _, extra, err = n.net.SplitRegion(owner)
+	return extra, wrapFissioneErr(err, string(owner))
+}
+
+// RegionLoad is one region's EWMA delivery rate in a LoadReport.
+type RegionLoad struct {
+	// Peer identifies the region's owner.
+	Peer string
+	// Rate is the region's EWMA delivery rate in deliveries/second.
+	Rate float64
+}
+
+// LoadReport is a snapshot of the load controller's state: its action
+// counters and the hottest regions it currently tracks.
+type LoadReport struct {
+	// AutoSplits counts hot regions split; Migrations counts ownership
+	// moves (a cold donor leaving + the hot region splitting).
+	// CascadeSplits totals the extra invariant-restoring splits those
+	// actions needed, and FailedActions the attempts that errored (e.g.
+	// the network at minimum size refusing a departure).
+	AutoSplits    int64
+	Migrations    int64
+	CascadeSplits int64
+	FailedActions int64
+	// Hottest lists the highest-rate regions, hottest first (capped);
+	// TrackedRegions is how many regions the accountant follows.
+	Hottest        []RegionLoad
+	TrackedRegions int
+}
+
+// LoadReport snapshots the load controller's counters and hottest regions;
+// ok is false when the network was built without WithLoadControl.
+func (n *Network) LoadReport() (_ LoadReport, ok bool) {
+	if n.lctl == nil {
+		return LoadReport{}, false
+	}
+	r := n.lctl.Report()
+	rep := LoadReport{
+		AutoSplits:     r.Counters.AutoSplits,
+		Migrations:     r.Counters.Migrations,
+		CascadeSplits:  r.Counters.CascadeSplits,
+		FailedActions:  r.Counters.FailedActions,
+		TrackedRegions: r.Tracked,
+	}
+	rep.Hottest = make([]RegionLoad, len(r.Hottest))
+	for i, h := range r.Hottest {
+		rep.Hottest[i] = RegionLoad{Peer: h.ID, Rate: h.Rate}
+	}
+	return rep, true
+}
+
+// PeerLoad is one peer's cumulative delivery count (see PeerLoads).
+type PeerLoad struct {
+	// Peer is the peer's identifier; Deliveries how many query deliveries
+	// have addressed it as region owner since it was created (counters
+	// survive renames: a peer renamed by a split keeps its count).
+	Peer       string
+	Deliveries int64
+}
+
+// PeerLoads returns every peer's cumulative query-delivery counter in
+// identifier order. It is available on every network — no WithLoadControl
+// needed — and is what the workload package computes delivery skew from.
+func (n *Network) PeerLoads() []PeerLoad {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	ids := n.net.PeerIDs()
+	out := make([]PeerLoad, 0, len(ids))
+	for _, id := range ids {
+		p, ok := n.net.Peer(id)
+		if !ok {
+			continue
+		}
+		out = append(out, PeerLoad{Peer: string(id), Deliveries: p.Deliveries()})
+	}
+	return out
+}

@@ -20,6 +20,7 @@ type config struct {
 	async         bool
 	replicas      int
 	frontierCache int
+	loadControl   *LoadControlConfig
 }
 
 // Option configures NewNetwork.

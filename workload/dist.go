@@ -3,6 +3,7 @@ package workload
 import (
 	"math"
 	"math/rand"
+	"time"
 
 	"armada"
 )
@@ -18,11 +19,15 @@ type sampler struct {
 	sc   *Scenario
 	zipf *rand.Zipf
 	cum  [numOps]float64 // cumulative mix weights
+	// start anchors the drifting hotspot (Scenario.HotDrift): all workers'
+	// samplers are created together at run start, so they agree on the hot
+	// interval's current position to within sampler-construction time.
+	start time.Time
 }
 
 func newSampler(sc *Scenario, seed int64) *sampler {
 	rng := rand.New(rand.NewSource(seed))
-	s := &sampler{rng: rng, sc: sc}
+	s := &sampler{rng: rng, sc: sc, start: time.Now()}
 	if sc.Keys.Kind == KeyZipf {
 		s.zipf = rand.NewZipf(rng, sc.Keys.ZipfS, 1, zipfBuckets-1)
 	}
@@ -54,12 +59,25 @@ func (s *sampler) frac() float64 {
 		return (float64(s.zipf.Uint64()) + s.rng.Float64()) / zipfBuckets
 	case KeyHotspot:
 		if s.rng.Float64() < s.sc.Keys.HotWeight {
-			return s.rng.Float64() * s.sc.Keys.HotFraction
+			return s.hotLow() + s.rng.Float64()*s.sc.Keys.HotFraction
 		}
 		return s.rng.Float64()
 	default:
 		return s.rng.Float64()
 	}
+}
+
+// hotLow returns the hot interval's current low edge in [0, 1): pinned at
+// 0 without drift, sweeping the whole space once per HotDrift period
+// (wrapping) otherwise. The sweep spans 1 − HotFraction so the interval
+// never clips at the high end — its width is constant throughout.
+func (s *sampler) hotLow() float64 {
+	d := s.sc.HotDrift
+	if d <= 0 {
+		return 0
+	}
+	turns := time.Since(s.start).Seconds() / d.Seconds()
+	return (turns - math.Floor(turns)) * (1 - s.sc.Keys.HotFraction)
 }
 
 // value draws one attribute value.

@@ -1,6 +1,10 @@
 package workload
 
-import "armada"
+import (
+	"time"
+
+	"armada"
+)
 
 // presets are the named scenarios armada-load ships, in listing order.
 // Each is self-contained: it carries its own network size and op budget so
@@ -57,6 +61,33 @@ var presets = []Scenario{
 		PageLimit:     256,
 		RangeBuckets:  64,
 		FrontierCache: 256,
+	},
+	{
+		// A narrow hotspot that drifts across the key space during the run:
+		// publishes and range scans chase the moving hot interval, piling
+		// objects and deliveries onto whichever few peers own it at each
+		// moment — the regime occupancy-based splitting cannot fix, and the
+		// adaptive load controller exists for. Runs with load control on
+		// (auto-split + migration); rerun with -load-control=false for the
+		// uncontrolled baseline, where the hot owners' stores and scan
+		// convoys grow unchecked. Duration-bounded because the drift is
+		// wall-clock. 2-way replicated so controller-driven departures and
+		// splits are also exercised against replica repair.
+		Name:     "hot-drift",
+		Peers:    400,
+		Preload:  4000,
+		Duration: 6 * time.Second,
+		Replicas: 2,
+		Mix:      Mix{Publish: 50, Unpublish: 5, Lookup: 5, Range: 40},
+		Keys:     KeyDist{Kind: KeyHotspot, HotFraction: 0.02, HotWeight: 0.95},
+		// Half a sweep per run: slow enough that publishes pile up on the
+		// current hot owners (the uncontrolled failure mode), fast enough
+		// that the controller has to chase the hotspot, not just fix a
+		// static one.
+		HotDrift:       12 * time.Second,
+		RangeSize:      SizeDist{MinFrac: 0.002, MaxFrac: 0.01},
+		LoadControl:    true,
+		SplitThreshold: 150,
 	},
 	{
 		// Sustained mixed traffic while the overlay churns hard, including

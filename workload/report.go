@@ -86,6 +86,50 @@ type FrontierCacheReport struct {
 	HitRate float64 `json:"hit_rate"`
 }
 
+// EnvReport records the execution environment a report was produced in.
+// Latency budgets are only comparable within one environment; the compare
+// gate (armada-load -compare) refuses to gate across a GOMAXPROCS
+// mismatch and warns loudly on the rest.
+type EnvReport struct {
+	GoMaxProcs int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	GoVersion  string `json:"go_version"`
+}
+
+// HotPeer is one entry of the delivery-skew hottest-peers list.
+type HotPeer struct {
+	Peer string `json:"peer"`
+	// Deliveries is the peer's delivery count during the run; Share its
+	// fraction of all deliveries.
+	Deliveries int64   `json:"deliveries"`
+	Share      float64 `json:"share"`
+}
+
+// SkewReport summarizes how evenly query deliveries spread across peers
+// during one run — the balance metric load control is judged by. Max and
+// p99 are per-peer delivery counts divided by the mean over all peers
+// present at run end (1.0 = perfectly even).
+type SkewReport struct {
+	MeanDeliveries float64 `json:"mean_deliveries"`
+	MaxOverMean    float64 `json:"max_over_mean"`
+	P99OverMean    float64 `json:"p99_over_mean"`
+	// HotPeers lists the highest-delivery peers, hottest first.
+	HotPeers []HotPeer `json:"hot_peers,omitempty"`
+}
+
+// LoadControlReport counts the adaptive load controller's actions during
+// one run (present only when the scenario enables load control).
+type LoadControlReport struct {
+	// AutoSplits counts hot regions split; Migrations ownership moves
+	// (cold donor leaves + hot region splits); CascadeSplits the extra
+	// invariant-restoring splits those actions needed; FailedActions the
+	// attempts the network rejected.
+	AutoSplits    int64 `json:"auto_splits"`
+	Migrations    int64 `json:"migrations"`
+	CascadeSplits int64 `json:"cascade_splits,omitempty"`
+	FailedActions int64 `json:"failed_actions,omitempty"`
+}
+
 // ChurnReport counts the churn events of one run.
 type ChurnReport struct {
 	Joins  int `json:"joins"`
@@ -160,5 +204,13 @@ type Report struct {
 	// FrontierCache summarizes the shared cache's run activity; absent
 	// when the scenario runs without one.
 	FrontierCache *FrontierCacheReport `json:"frontier_cache,omitempty"`
-	Intervals     []Snapshot           `json:"intervals"`
+	// DeliverySkew summarizes the per-peer delivery balance of the run.
+	DeliverySkew *SkewReport `json:"delivery_skew,omitempty"`
+	// LoadControl counts the load controller's actions during the run;
+	// absent when the scenario runs without load control.
+	LoadControl *LoadControlReport `json:"load_control,omitempty"`
+	// Env records the environment the report was produced in; -compare
+	// gates on it.
+	Env       *EnvReport `json:"env,omitempty"`
+	Intervals []Snapshot `json:"intervals"`
 }

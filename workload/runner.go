@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -46,6 +48,10 @@ func New(net *armada.Network, sc Scenario) (*Runner, error) {
 		return nil, fmt.Errorf("%w: scenario declares a frontier cache of %d, network has %d",
 			ErrBadScenario, sc.FrontierCache, cs.Capacity)
 	}
+	if _, ok := net.LoadReport(); ok != sc.LoadControl {
+		return nil, fmt.Errorf("%w: scenario load control %v, network load control %v",
+			ErrBadScenario, sc.LoadControl, ok)
+	}
 	return &Runner{net: net, sc: sc}, nil
 }
 
@@ -61,6 +67,7 @@ func Execute(ctx context.Context, sc Scenario) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer net.Close()
 	r, err := New(net, sc)
 	if err != nil {
 		return nil, err
@@ -97,6 +104,11 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 	startPeers := r.net.Size()
 	startReRepl := r.net.ReReplications()
 	startCache, trackCache := r.net.FrontierCacheStats()
+	startLC, trackLC := r.net.LoadReport()
+	startLoads := make(map[string]int64)
+	for _, pl := range r.net.PeerLoads() {
+		startLoads[pl.Peer] = pl.Deliveries
+	}
 	start := time.Now()
 
 	var bg sync.WaitGroup
@@ -155,7 +167,70 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 		}
 		rep.FrontierCache = fc
 	}
+	rep.DeliverySkew = deliverySkew(startLoads, r.net.PeerLoads())
+	if trackLC {
+		end, _ := r.net.LoadReport()
+		rep.LoadControl = &LoadControlReport{
+			AutoSplits:    end.AutoSplits - startLC.AutoSplits,
+			Migrations:    end.Migrations - startLC.Migrations,
+			CascadeSplits: end.CascadeSplits - startLC.CascadeSplits,
+			FailedActions: end.FailedActions - startLC.FailedActions,
+		}
+	}
+	rep.Env = &EnvReport{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+	}
 	return rep, nil
+}
+
+// skewTopN caps the delivery-skew hottest-peers list.
+const skewTopN = 5
+
+// deliverySkew computes the run's per-peer delivery balance: each peer
+// present at run end contributes its delivery-count growth since run start
+// (peers created mid-run contribute their whole count — their counters
+// started at zero, or rode along a rename, either way their load belongs
+// to the run's hot regions).
+func deliverySkew(start map[string]int64, end []armada.PeerLoad) *SkewReport {
+	if len(end) == 0 {
+		return nil
+	}
+	deltas := make([]int64, 0, len(end))
+	hot := make([]HotPeer, 0, len(end))
+	var total int64
+	for _, pl := range end {
+		d := pl.Deliveries - start[pl.Peer]
+		if d < 0 {
+			d = 0
+		}
+		deltas = append(deltas, d)
+		hot = append(hot, HotPeer{Peer: pl.Peer, Deliveries: d})
+		total += d
+	}
+	rep := &SkewReport{MeanDeliveries: float64(total) / float64(len(deltas))}
+	if total == 0 {
+		return rep
+	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i] < deltas[j] })
+	p99 := deltas[(99*(len(deltas)-1)+50)/100]
+	rep.MaxOverMean = float64(deltas[len(deltas)-1]) / rep.MeanDeliveries
+	rep.P99OverMean = float64(p99) / rep.MeanDeliveries
+	sort.Slice(hot, func(i, j int) bool {
+		if hot[i].Deliveries != hot[j].Deliveries {
+			return hot[i].Deliveries > hot[j].Deliveries
+		}
+		return hot[i].Peer < hot[j].Peer
+	})
+	if len(hot) > skewTopN {
+		hot = hot[:skewTopN]
+	}
+	for i := range hot {
+		hot[i].Share = float64(hot[i].Deliveries) / float64(total)
+	}
+	rep.HotPeers = hot
+	return rep
 }
 
 // arrivals returns the acquire function workers call before each op.

@@ -239,6 +239,22 @@ type Scenario struct {
 	// exists for — instead of the continuous never-repeating bounds the
 	// samplers otherwise draw. Default 0 — continuous bounds.
 	RangeBuckets int `json:"range_buckets,omitempty"`
+	// LoadControl builds the network with the adaptive load controller
+	// (armada.WithLoadControl): hot regions auto-split under sustained
+	// delivery load and, at the growth cap, ownership migrates from cold
+	// peers toward hot regions. The run's actions land in the report's
+	// load_control block. Default false.
+	LoadControl bool `json:"load_control,omitempty"`
+	// SplitThreshold overrides the controller's split threshold (sustained
+	// deliveries/second on one region; 0 = the armada default). Requires
+	// LoadControl.
+	SplitThreshold float64 `json:"split_threshold,omitempty"`
+	// HotDrift, when positive, makes the KeyHotspot hot interval drift:
+	// its low edge sweeps the whole key space once per HotDrift period
+	// (wrapping), so publishes and queries chase a moving hotspot instead
+	// of a pinned one. Requires Keys.Kind == KeyHotspot. Default 0 — the
+	// hot interval stays at the low end of the space.
+	HotDrift time.Duration `json:"hot_drift,omitempty"`
 
 	Mix       Mix      `json:"mix"`
 	Keys      KeyDist  `json:"keys"`
@@ -327,6 +343,12 @@ func (s Scenario) NetworkOptions() []armada.Option {
 	if s.FrontierCache > 0 {
 		opts = append(opts, armada.WithFrontierCache(s.FrontierCache))
 	}
+	if s.LoadControl {
+		opts = append(opts, armada.WithLoadControl(armada.LoadControlConfig{
+			SplitThreshold: s.SplitThreshold,
+			Migrate:        true,
+		}))
+	}
 	return opts
 }
 
@@ -393,6 +415,18 @@ func (s Scenario) validate() error {
 	}
 	if s.RangeBuckets < 0 {
 		return bad("negative range buckets %d", s.RangeBuckets)
+	}
+	if s.SplitThreshold < 0 {
+		return bad("negative split threshold %v", s.SplitThreshold)
+	}
+	if s.SplitThreshold > 0 && !s.LoadControl {
+		return bad("split threshold %v set without load control", s.SplitThreshold)
+	}
+	if s.HotDrift < 0 {
+		return bad("negative hot drift %v", s.HotDrift)
+	}
+	if s.HotDrift > 0 && s.Keys.Kind != KeyHotspot {
+		return bad("hot drift requires the hotspot key distribution, got %v", s.Keys.Kind)
 	}
 	if s.Churn.JoinPerSec < 0 || s.Churn.LeavePerSec < 0 || s.Churn.FailPerSec < 0 {
 		return bad("negative churn rate")
