@@ -45,6 +45,7 @@ import (
 	"armada/internal/kautz"
 	"armada/internal/loadctl"
 	"armada/internal/naming"
+	"armada/internal/obs"
 	"armada/internal/session"
 )
 
@@ -85,6 +86,9 @@ type Network struct {
 	// lctl is the background load controller (nil without
 	// WithLoadControl); Close stops it.
 	lctl *loadctl.Controller
+	// obs holds the metrics registry, the optional flight recorder and the
+	// delay-bound conformance instruments; initObs wires it in NewNetwork.
+	obs netObs
 
 	// rng drives default issuer selection; it has its own mutex so peer
 	// sampling never serializes behind mutations or other samplers.
@@ -143,6 +147,7 @@ func NewNetwork(peers int, opts ...Option) (*Network, error) {
 		fcache: fcache,
 		rng:    rand.New(rand.NewSource(cfg.seed + 1)),
 	}
+	nw.initObs(cfg)
 	if cfg.loadControl != nil {
 		nw.startLoadControl(*cfg.loadControl, peers)
 	}
@@ -470,12 +475,42 @@ func (n *Network) Stream(ctx context.Context, q Query) iter.Seq2[Object, error] 
 	}
 }
 
-// do dispatches one query on the engine. The caller holds the read lock;
-// onMatch, when non-nil, streams each matching object at delivery time.
-// fr, when non-nil, threads frontier reuse through a range query (see
-// frontierExec); on a network with a frontier cache, plain non-streaming
-// range queries get one automatically.
+// do dispatches one query on the engine: the observability wrapper around
+// exec. It samples the finished query against the delay bound and, with a
+// flight recorder attached, brackets the execution in query start/end
+// events (page cuts included). The caller holds the read lock; onMatch,
+// when non-nil, streams each matching object at delivery time. fr, when
+// non-nil, threads frontier reuse through a range query (see frontierExec);
+// on a network with a frontier cache, plain non-streaming range queries
+// get one automatically.
 func (n *Network) do(ctx context.Context, q Query, issuer string, onMatch func(Object), fr *frontierExec) (*Result, error) {
+	rec := n.obs.flight
+	var qid uint64
+	if rec != nil {
+		qid = n.obs.qseq.Add(1)
+		rec.Record(obs.Event{Kind: obs.EvQueryStart, QID: qid, From: issuer, Note: q.kind().String()})
+	}
+	res, err := n.exec(ctx, q, issuer, onMatch, fr, qid)
+	if err != nil {
+		if rec != nil {
+			rec.Record(obs.Event{Kind: obs.EvQueryEnd, QID: qid, Note: err.Error()})
+		}
+		return nil, err
+	}
+	n.noteQuery(res.Stats)
+	if rec != nil {
+		if res.NextOffsetID != "" {
+			rec.Record(obs.Event{Kind: obs.EvPageCut, QID: qid, Note: res.NextOffsetID})
+		}
+		rec.Record(obs.Event{Kind: obs.EvQueryEnd, QID: qid,
+			V1: int64(res.Stats.Delay), V2: int64(res.Stats.Messages)})
+	}
+	return res, nil
+}
+
+// exec runs one query on the engine. qid tags the query's flight-recorder
+// events; it is 0 (and ignored) without a recorder.
+func (n *Network) exec(ctx context.Context, q Query, issuer string, onMatch func(Object), fr *frontierExec, qid uint64) (*Result, error) {
 	kind := q.kind()
 	opts := make([]core.QueryOption, 0, 6)
 	if n.mode == core.Async {
@@ -488,11 +523,11 @@ func (n *Network) do(ctx context.Context, q Query, issuer string, onMatch func(O
 	if pol != core.ReadPrimary {
 		opts = append(opts, core.WithReadPolicy(pol))
 	}
-	if q.Trace != nil {
-		trace := q.Trace
-		opts = append(opts, core.WithTrace(func(from, to kautz.Str, depth, remaining int) {
-			trace(Hop{From: string(from), To: string(to), Depth: depth, Remaining: remaining})
-		}))
+	if fr != nil {
+		fr.qid = qid
+	}
+	if q.Trace != nil || n.obs.flight != nil {
+		opts = append(opts, core.WithTrace(n.traceFunc(q.Trace, qid)))
 	}
 	if onMatch != nil {
 		opts = append(opts, core.WithOnMatch(func(m core.Match) {
@@ -567,7 +602,7 @@ func (n *Network) do(ctx context.Context, q Query, issuer string, onMatch func(O
 		// Non-streaming range queries on a cached network reuse frontiers
 		// even outside sessions: a repeated hot range skips its descent.
 		if fr == nil && onMatch == nil && n.fcache != nil {
-			fr = &frontierExec{}
+			fr = &frontierExec{qid: qid}
 		}
 		if fr == nil {
 			res, err := n.eng.RangeQuery(ctx, kautz.Str(issuer), lo, hi, opts...)

@@ -29,21 +29,36 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
 	"math"
+	"net/http"
+	_ "net/http/pprof" // -pprof-addr serves the default mux
 	"os"
 	"os/signal"
 	"runtime/debug"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"text/tabwriter"
 
 	"armada"
 	"armada/workload"
 )
+
+// liveNet is the network the current run drives; the -metrics-addr handlers
+// read it so scrapes keep working across worst-of reruns (503 between
+// networks).
+var liveNet atomic.Pointer[armada.Network]
+
+// expvarOnce guards the expvar registration: run() executes once per
+// process normally but repeatedly under tests, and expvar.Publish panics on
+// duplicates.
+var expvarOnce sync.Once
 
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -58,43 +73,48 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("armada-load", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		scenario = fs.String("scenario", "", "preset scenario name (see -list); empty builds a custom scenario from the flags")
-		list     = fs.Bool("list", false, "list preset scenarios and exit")
-		peers    = fs.Int("peers", 0, "initial network size")
-		ops      = fs.Int("ops", 0, "stop after this many operations")
-		duration = fs.Duration("duration", 0, "stop after this wall-clock time")
-		workers  = fs.Int("workers", 0, "concurrent workers (closed loop) / executors (open loop)")
-		rate     = fs.Float64("rate", 0, "open-loop Poisson arrival rate, ops/sec (0 = closed loop)")
-		think    = fs.Duration("think", 0, "closed-loop think time between a worker's ops")
-		seed     = fs.Int64("seed", 0, "random seed")
-		attrs    = fs.Int("attrs", 0, "number of [0,1000] attributes (overrides the preset's spaces)")
-		replicas = fs.Int("replicas", 0, "replication degree: each object lives on this many peers (1 = unreplicated)")
-		preload  = fs.Int("preload", -1, "objects published before the measured run")
-		topk     = fs.Int("topk", 0, "K for top-k operations")
-		mix      = fs.String("mix", "", `op mix weights, e.g. "range=70,publish=10,lookup=10,unpublish=5,multi-range=0,top-k=5,flood=0,range-paged=0"`)
-		keys     = fs.String("keys", "", "key distribution: uniform|zipf|hotspot")
-		zipfS    = fs.Float64("zipf-s", 0, "Zipf exponent (> 1)")
-		hotFrac  = fs.Float64("hot-frac", 0, "hotspot: hot interval width as a fraction of the space")
-		hotWt    = fs.Float64("hot-weight", 0, "hotspot: probability of drawing from the hot interval")
-		rangeFr  = fs.String("range-frac", "", `range width as fraction of the space, "min:max" (e.g. "0.01:0.1")`)
-		churn    = fs.String("churn", "", `churn rates/sec, e.g. "join=40,leave=30,fail=10"`)
-		minPeers = fs.Int("min-peers", 0, "churn floor: skip leaves/fails at or below this size")
-		maxPeers = fs.Int("max-peers", 0, "churn ceiling: skip joins at or above this size")
-		interval = fs.Duration("interval", 0, "snapshot period")
-		pageLim  = fs.Int("page-limit", 0, "page size for range-paged operations")
-		noSess   = fs.Bool("paged-no-session", false, "run range-paged walks as independent per-page queries instead of a session (the descent-reuse ablation)")
-		fcache   = fs.Int("frontier-cache", 0, "issuer-side frontier cache capacity; repeated range queries over covered regions skip their descent (0 = no cache)")
-		rangeBk  = fs.Int("range-buckets", 0, "snap range-query bounds to a grid of this many buckets per attribute space so hot scans repeat exactly (0 = continuous bounds)")
-		loadCtl  = fs.Bool("load-control", false, "run the adaptive load controller: auto-split regions under sustained delivery load and migrate ownership toward hot regions")
-		splitThr = fs.Float64("split-threshold", 0, "load control: sustained deliveries/sec on one region that triggers a split (0 = armada default)")
-		hotDrift = fs.Duration("hot-drift", 0, "hotspot keys: sweep the hot interval across the key space once per this period (0 = pinned hotspot)")
-		queueCap = fs.Int("queue-cap", 0, "open-loop dispatch queue bound (default 4×workers); full queue drops arrivals")
-		gogc     = fs.Int("gogc", 600, "GOGC percent for the run (load generators allocate fast against a small live heap); 0 leaves the runtime default, and an explicit GOGC env var always wins")
-		compare  = fs.String("compare", "", "baseline report JSON (BENCH_baseline.json); exit non-zero on p99 latency regression")
-		maxRegr  = fs.Float64("compare-max-regress", 0.25, "allowed relative p99 latency growth over the -compare baseline")
-		worstOf  = fs.Int("worst-of", 1, "run the scenario this many times and report each op kind's worst run — how BENCH_baseline.json budgets are made (see make rebaseline)")
-		out      = fs.String("out", "", "write the JSON report to this file (default stdout)")
-		verbose  = fs.Bool("v", false, "print interval snapshots to stderr while running")
+		scenario  = fs.String("scenario", "", "preset scenario name (see -list); empty builds a custom scenario from the flags")
+		list      = fs.Bool("list", false, "list preset scenarios and exit")
+		peers     = fs.Int("peers", 0, "initial network size")
+		ops       = fs.Int("ops", 0, "stop after this many operations")
+		duration  = fs.Duration("duration", 0, "stop after this wall-clock time")
+		workers   = fs.Int("workers", 0, "concurrent workers (closed loop) / executors (open loop)")
+		rate      = fs.Float64("rate", 0, "open-loop Poisson arrival rate, ops/sec (0 = closed loop)")
+		think     = fs.Duration("think", 0, "closed-loop think time between a worker's ops")
+		seed      = fs.Int64("seed", 0, "random seed")
+		attrs     = fs.Int("attrs", 0, "number of [0,1000] attributes (overrides the preset's spaces)")
+		replicas  = fs.Int("replicas", 0, "replication degree: each object lives on this many peers (1 = unreplicated)")
+		preload   = fs.Int("preload", -1, "objects published before the measured run")
+		topk      = fs.Int("topk", 0, "K for top-k operations")
+		mix       = fs.String("mix", "", `op mix weights, e.g. "range=70,publish=10,lookup=10,unpublish=5,multi-range=0,top-k=5,flood=0,range-paged=0"`)
+		keys      = fs.String("keys", "", "key distribution: uniform|zipf|hotspot")
+		zipfS     = fs.Float64("zipf-s", 0, "Zipf exponent (> 1)")
+		hotFrac   = fs.Float64("hot-frac", 0, "hotspot: hot interval width as a fraction of the space")
+		hotWt     = fs.Float64("hot-weight", 0, "hotspot: probability of drawing from the hot interval")
+		rangeFr   = fs.String("range-frac", "", `range width as fraction of the space, "min:max" (e.g. "0.01:0.1")`)
+		churn     = fs.String("churn", "", `churn rates/sec, e.g. "join=40,leave=30,fail=10"`)
+		minPeers  = fs.Int("min-peers", 0, "churn floor: skip leaves/fails at or below this size")
+		maxPeers  = fs.Int("max-peers", 0, "churn ceiling: skip joins at or above this size")
+		interval  = fs.Duration("interval", 0, "snapshot period")
+		pageLim   = fs.Int("page-limit", 0, "page size for range-paged operations")
+		noSess    = fs.Bool("paged-no-session", false, "run range-paged walks as independent per-page queries instead of a session (the descent-reuse ablation)")
+		fcache    = fs.Int("frontier-cache", 0, "issuer-side frontier cache capacity; repeated range queries over covered regions skip their descent (0 = no cache)")
+		rangeBk   = fs.Int("range-buckets", 0, "snap range-query bounds to a grid of this many buckets per attribute space so hot scans repeat exactly (0 = continuous bounds)")
+		loadCtl   = fs.Bool("load-control", false, "run the adaptive load controller: auto-split regions under sustained delivery load and migrate ownership toward hot regions")
+		splitThr  = fs.Float64("split-threshold", 0, "load control: sustained deliveries/sec on one region that triggers a split (0 = armada default)")
+		maxGrow   = fs.Int("max-growth", 0, "load control: cap on peers auto-splits may add (0 = armada default); at the cap relief continues through migration")
+		hotDrift  = fs.Duration("hot-drift", 0, "hotspot keys: sweep the hot interval across the key space once per this period (0 = pinned hotspot)")
+		queueCap  = fs.Int("queue-cap", 0, "open-loop dispatch queue bound (default 4×workers); full queue drops arrivals")
+		gogc      = fs.Int("gogc", 600, "GOGC percent for the run (load generators allocate fast against a small live heap); 0 leaves the runtime default, and an explicit GOGC env var always wins")
+		compare   = fs.String("compare", "", "baseline report JSON (BENCH_baseline.json); exit non-zero on p99 latency regression")
+		maxRegr   = fs.Float64("compare-max-regress", 0.25, "allowed relative p99 latency growth over the -compare baseline")
+		worstOf   = fs.Int("worst-of", 1, "run the scenario this many times and report each op kind's worst run — how BENCH_baseline.json budgets are made (see make rebaseline)")
+		out       = fs.String("out", "", "write the JSON report to this file (default stdout)")
+		verbose   = fs.Bool("v", false, "print interval snapshots to stderr while running")
+		flightRec = fs.Int("flight-recorder", 0, "attach a query-lifecycle flight recorder retaining this many events (0 = none; implied by -trace-out)")
+		traceOut  = fs.String("trace-out", "", "write the flight recorder's events as Chrome trace-event JSON to this file after the run (implies -flight-recorder 65536 when unset)")
+		metricsAd = fs.String("metrics-addr", "", "serve live metrics over HTTP on this address: Prometheus text at /metrics, expvar at /debug/vars")
+		pprofAd   = fs.String("pprof-addr", "", "serve net/http/pprof on this address (/debug/pprof/)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -227,16 +247,29 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			}
 		case "split-threshold":
 			sc.SplitThreshold = *splitThr
+		case "max-growth":
+			sc.MaxGrowth = *maxGrow
 		case "hot-drift":
 			sc.HotDrift = *hotDrift
+		case "flight-recorder":
+			if *flightRec < 0 {
+				keep(fmt.Errorf("-flight-recorder %d: must be at least 0", *flightRec))
+			}
+			sc.FlightRecorder = *flightRec
 		}
 	})
 	if parseErr != nil {
 		return parseErr
 	}
+	if *traceOut != "" && sc.FlightRecorder == 0 {
+		sc.FlightRecorder = 1 << 16
+	}
 
 	sc, err := sc.Normalize()
 	if err != nil {
+		return err
+	}
+	if err := startHTTP(*metricsAd, *pprofAd, stderr); err != nil {
 		return err
 	}
 	if *worstOf < 1 {
@@ -251,6 +284,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			return nil, err
 		}
 		defer net.Close()
+		liveNet.Store(net)
+		defer liveNet.Store(nil)
+		if *traceOut != "" {
+			// Deferred so the dump survives run errors and audit failures —
+			// the flight recorder is most valuable exactly then.
+			defer func() {
+				if err := writeTrace(net, *traceOut); err != nil {
+					fmt.Fprintln(stderr, "armada-load: trace dump:", err)
+				} else {
+					fmt.Fprintf(stderr, "armada-load: wrote flight trace to %s\n", *traceOut)
+				}
+			}()
+		}
 		runner, err := workload.New(net, sc)
 		if err != nil {
 			return nil, err
@@ -311,6 +357,62 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return compareReports(stderr, rep, base, *maxRegr)
 	}
 	return nil
+}
+
+// startHTTP starts the optional observability endpoints: metricsAddr
+// serves the live network's Prometheus text at /metrics and expvar at
+// /debug/vars; pprofAddr serves the default mux's /debug/pprof/ handlers.
+// Both outlive individual worst-of runs — scrapes between networks get 503.
+func startHTTP(metricsAddr, pprofAddr string, stderr io.Writer) error {
+	serve := func(addr string, h http.Handler, what string) {
+		go func() {
+			if err := http.ListenAndServe(addr, h); err != nil {
+				fmt.Fprintf(stderr, "armada-load: %s server: %v\n", what, err)
+			}
+		}()
+	}
+	if metricsAddr != "" {
+		expvarOnce.Do(func() {
+			expvar.Publish("armada", expvar.Func(func() any {
+				if n := liveNet.Load(); n != nil {
+					return n.MetricValues()
+				}
+				return nil
+			}))
+		})
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			n := liveNet.Load()
+			if n == nil {
+				http.Error(w, "no live network", http.StatusServiceUnavailable)
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			if err := n.WriteMetrics(w); err != nil {
+				fmt.Fprintf(stderr, "armada-load: metrics write: %v\n", err)
+			}
+		})
+		mux.Handle("/debug/vars", expvar.Handler())
+		serve(metricsAddr, mux, "metrics")
+	}
+	if pprofAddr != "" {
+		serve(pprofAddr, nil, "pprof") // net/http/pprof registered on the default mux
+	}
+	return nil
+}
+
+// writeTrace dumps the network's flight recorder as Chrome trace-event
+// JSON.
+func writeTrace(net *armada.Network, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := net.WriteFlightTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // mergeWorst folds run next into the accumulated report acc, keeping for

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 
@@ -202,6 +203,58 @@ func TestHotDriftSmall(t *testing.T) {
 		"-preload", "200", "-load-control=false")
 	if _, ok := m["load_control"]; ok {
 		t.Error("-load-control=false still reported a load_control block")
+	}
+}
+
+func TestTraceOutAndMetrics(t *testing.T) {
+	path := t.TempDir() + "/trace.json"
+	m := runJSON(t, "-scenario", "steady", "-peers", "60", "-ops", "200", "-preload", "150",
+		"-seed", "3", "-trace-out", path)
+	// -trace-out implies a flight recorder; the dump must be valid Chrome
+	// trace-event JSON with at least one query span.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("trace dump missing: %v", err)
+	}
+	var dump struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			Cat string `json:"cat"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &dump); err != nil {
+		t.Fatalf("trace dump is not Chrome trace JSON: %v", err)
+	}
+	var spans, hops int
+	for _, te := range dump.TraceEvents {
+		if te.Ph == "b" {
+			spans++
+		}
+		if te.Cat == "hop" {
+			hops++
+		}
+	}
+	if spans == 0 || hops == 0 {
+		t.Errorf("trace dump has %d query spans and %d hops, want both > 0", spans, hops)
+	}
+	// The report carries the metrics block and the conformance counter.
+	metrics, ok := m["metrics"].(map[string]any)
+	if !ok {
+		t.Fatalf("report missing metrics block: %v", m)
+	}
+	if v, _ := metrics["engine_messages_total"].(float64); v <= 0 {
+		t.Errorf("metrics.engine_messages_total = %v, want > 0", v)
+	}
+	if v, ok := m["delay_bound_violations"].(float64); !ok || v != 0 {
+		t.Errorf("delay_bound_violations = %v (present %v), want 0", v, ok)
+	}
+}
+
+func TestMaxGrowthFlag(t *testing.T) {
+	m := runJSON(t, "-scenario", "hot-drift-cap", "-peers", "100", "-duration", "300ms",
+		"-preload", "200", "-max-growth", "2")
+	if _, ok := m["load_control"].(map[string]any); !ok {
+		t.Fatalf("report missing load_control block: %v", m)
 	}
 }
 

@@ -33,6 +33,7 @@ import (
 	"armada/internal/fissione"
 	"armada/internal/kautz"
 	"armada/internal/naming"
+	"armada/internal/obs"
 	"armada/internal/simnet"
 )
 
@@ -65,14 +66,81 @@ type Engine struct {
 	// rr is the round-robin read policy's cursor; shared by all queries so
 	// repeated identical queries rotate through a group's replicas.
 	rr atomic.Uint64
+	// metrics accumulates engine-wide query cost counters; always non-nil.
+	metrics *Metrics
 }
+
+// HopKind classifies one traced hop, so observers need not re-derive the
+// hop's role from its remaining count.
+type HopKind uint8
+
+const (
+	// HopForward is one FRT descent forward toward the destination level.
+	HopForward HopKind = iota
+	// HopDeliver is a delivery served by the region owner itself
+	// (from == to).
+	HopDeliver
+	// HopRedirect is a delivery the read policy redirected from the region
+	// owner (from) to a serving replica (to).
+	HopRedirect
+	// HopSeed is one direct issuer→destination fan-out send of a
+	// frontier-seeded query.
+	HopSeed
+)
 
 // TraceFunc observes one descent hop. from is the processing peer, to the
 // forward's target; deliveries have remaining == 0 and report the peer
 // that served the delivery as to — equal to from unless a read policy
-// redirected the scan to a replica. A trace function passed to an Async
-// query must be safe for concurrent use.
-type TraceFunc func(from, to kautz.Str, depth, remaining int)
+// redirected the scan to a replica (kind HopRedirect). A trace function
+// passed to an Async query must be safe for concurrent use.
+type TraceFunc func(kind HopKind, from, to kautz.Str, depth, remaining int)
+
+// Metrics are the engine's cumulative query-cost counters, shared by every
+// query the engine runs. Updates are lock-free atomics folded in once per
+// query (from the Stats the query computed anyway) plus one counter
+// increment per scheduled overlay message, so the per-hop path stays
+// allocation-free.
+type Metrics struct {
+	// Descents counts full FRT descents executed; Seeded counts queries
+	// that skipped the descent by seeding from a captured frontier.
+	Descents obs.Counter
+	Seeded   obs.Counter
+	// Messages and Deliveries total the per-query Stats fields of the same
+	// names across all queries.
+	Messages   obs.Counter
+	Deliveries obs.Counter
+	// Scheduled counts overlay messages scheduled by the simnet engines —
+	// the raw message-pump volume, including frontier fan-outs.
+	Scheduled obs.Counter
+	// HopDelay is the distribution of realized per-query hop delay.
+	HopDelay *obs.Histogram
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{HopDelay: obs.NewHistogram(1, 2, 4, 6, 8, 10, 12, 16, 20, 24, 32, 48)}
+}
+
+// Describe registers the engine's metrics on reg.
+func (m *Metrics) Describe(reg *obs.Registry) {
+	reg.MustRegister("engine_descents_total", &m.Descents)
+	reg.MustRegister("engine_seeded_queries_total", &m.Seeded)
+	reg.MustRegister("engine_messages_total", &m.Messages)
+	reg.MustRegister("engine_deliveries_total", &m.Deliveries)
+	reg.MustRegister("engine_scheduled_ops_total", &m.Scheduled)
+	reg.MustRegister("engine_hop_delay", m.HopDelay)
+}
+
+// note folds one finished query's stats into the cumulative counters.
+func (m *Metrics) note(s Stats, seeded bool) {
+	if seeded {
+		m.Seeded.Inc()
+	} else {
+		m.Descents.Inc()
+	}
+	m.Messages.Add(int64(s.Messages))
+	m.Deliveries.Add(int64(s.Deliveries))
+	m.HopDelay.Observe(float64(s.Delay))
+}
 
 // ReadPolicy selects which member of a region's replica group serves a
 // delivery. On an unreplicated network every policy is ReadPrimary.
@@ -188,8 +256,11 @@ func New(net *fissione.Network, tree *naming.Tree) (*Engine, error) {
 	if tree != nil && tree.K() != net.K() {
 		return nil, fmt.Errorf("%w: tree k=%d, network k=%d", ErrKMismatch, tree.K(), net.K())
 	}
-	return &Engine{net: net, tree: tree}, nil
+	return &Engine{net: net, tree: tree, metrics: newMetrics()}, nil
 }
+
+// Metrics returns the engine's cumulative query-cost counters.
+func (e *Engine) Metrics() *Metrics { return e.metrics }
 
 // Tree returns the engine's naming tree (nil for exact-match-only engines).
 func (e *Engine) Tree() *naming.Tree { return e.tree }
@@ -439,12 +510,14 @@ func (e *Engine) descend(ctx context.Context, issuer kautz.Str, region kautz.Reg
 		// stable for as long as the caller excludes topology mutation.
 		res.Frontier = &Frontier{Epoch: e.net.Epoch(), Region: region, Entries: state.frontier}
 	}
+	e.metrics.note(res.Stats, false)
 	return res, nil
 }
 
 // run executes one set of seed messages on the engine selected by the
 // query's configuration.
 func (e *Engine) run(ctx context.Context, cfg QueryConfig, seeds []simnet.Message, handle simnet.Handler) (simnet.Metrics, error) {
+	handle = e.countScheduled(handle)
 	var (
 		metrics simnet.Metrics
 		err     error
@@ -465,6 +538,16 @@ func (e *Engine) run(ctx context.Context, cfg QueryConfig, seeds []simnet.Messag
 	return metrics, nil
 }
 
+// countScheduled wraps a message handler to count every scheduled overlay
+// message — the one per-message metric update the engine pays.
+func (e *Engine) countScheduled(handle simnet.Handler) simnet.Handler {
+	sched := &e.metrics.Scheduled
+	return func(m simnet.Message) []simnet.Message {
+		sched.Inc()
+		return handle(m)
+	}
+}
+
 // step processes one descent message at its destination peer and returns
 // the forwards. It is safe for concurrent use.
 func (e *Engine) step(state *queryState, m simnet.Message) []simnet.Message {
@@ -479,7 +562,7 @@ func (e *Engine) step(state *queryState, m simnet.Message) []simnet.Message {
 		fwd := make([]simnet.Message, 0, len(fm.sends))
 		for _, s := range fm.sends {
 			if state.cfg.Trace != nil {
-				state.cfg.Trace(peer.ID(), s.Peer, m.Depth, 0)
+				state.cfg.Trace(HopSeed, peer.ID(), s.Peer, m.Depth, 0)
 			}
 			fwd = append(fwd, simnet.Message{To: string(s.Peer), Payload: queryMsg{region: s.Region, h: 0}})
 		}
@@ -503,7 +586,7 @@ func (e *Engine) step(state *queryState, m simnet.Message) []simnet.Message {
 			continue
 		}
 		if state.cfg.Trace != nil {
-			state.cfg.Trace(peer.ID(), c, m.Depth, qm.h-1)
+			state.cfg.Trace(HopForward, peer.ID(), c, m.Depth, qm.h-1)
 		}
 		fwd = append(fwd, simnet.Message{To: string(c), Payload: queryMsg{region: qm.region, h: qm.h - 1}})
 	}
@@ -547,7 +630,11 @@ func (e *Engine) deliver(state *queryState, owner *fissione.Peer, region kautz.R
 	owner.NoteDelivery()
 	serving, scan, ok := e.serveTarget(owner, region, state.cfg.Policy)
 	if state.cfg.Trace != nil {
-		state.cfg.Trace(owner.ID(), serving.ID(), depth, 0)
+		kind := HopDeliver
+		if serving != owner {
+			kind = HopRedirect
+		}
+		state.cfg.Trace(kind, owner.ID(), serving.ID(), depth, 0)
 	}
 	if !ok {
 		// The owner's region does not intersect the delivered region: an

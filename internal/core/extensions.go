@@ -68,9 +68,9 @@ func (e *Engine) TopK(ctx context.Context, issuer kautz.Str, lo, hi []float64, k
 		part := parts[i]
 		f := kautz.OverlapSuffixPrefix(issuer, part.CommonPrefix())
 		seed := simnet.Message{To: string(issuer), Payload: queryMsg{region: part, h: len(issuer) - f}}
-		m, err := simnet.RunSync(ctx, []simnet.Message{seed}, func(msg simnet.Message) []simnet.Message {
+		m, err := simnet.RunSync(ctx, []simnet.Message{seed}, e.countScheduled(func(msg simnet.Message) []simnet.Message {
 			return e.step(state, msg)
-		})
+		}))
 		if err != nil {
 			return nil, fmt.Errorf("core: query aborted: %w", err)
 		}
@@ -85,6 +85,7 @@ func (e *Engine) TopK(ctx context.Context, issuer kautz.Str, lo, hi []float64, k
 	}
 
 	res := state.result(metrics, ran)
+	e.metrics.note(res.Stats, false)
 	matches := res.Matches
 	sort.Slice(matches, func(i, j int) bool {
 		if matches[i].Values[0] != matches[j].Values[0] {
@@ -153,7 +154,7 @@ func (e *Engine) FloodQuery(ctx context.Context, issuer kautz.Str, lo, hi []floa
 		fwd := make([]simnet.Message, 0, len(peer.Out()))
 		for _, c := range peer.Out() {
 			if cfg.Trace != nil {
-				cfg.Trace(peer.ID(), c, m.Depth, qm.h-1)
+				cfg.Trace(HopForward, peer.ID(), c, m.Depth, qm.h-1)
 			}
 			fwd = append(fwd, simnet.Message{To: string(c), Payload: queryMsg{region: qm.region, h: qm.h - 1}})
 		}
@@ -163,5 +164,7 @@ func (e *Engine) FloodQuery(ctx context.Context, issuer kautz.Str, lo, hi []floa
 	if err != nil {
 		return nil, err
 	}
-	return state.result(metrics, len(parts)), nil
+	res := state.result(metrics, len(parts))
+	e.metrics.note(res.Stats, false)
+	return res, nil
 }

@@ -186,5 +186,6 @@ func (e *Engine) seedFromFrontier(ctx context.Context, issuer kautz.Str, region 
 	}
 	res := state.result(metrics, 0)
 	res.Stats.DescentsSaved = 1
+	e.metrics.note(res.Stats, true)
 	return res, nil
 }

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"armada/internal/kautz"
+	"armada/internal/obs"
 )
 
 // Errors returned by Network operations.
@@ -34,9 +35,14 @@ type Network struct {
 	peers    map[kautz.Str]*Peer
 	ids      []kautz.Str // sorted; kept in sync with peers
 	rng      *rand.Rand
-	replicas int          // replication degree; 1 = single-owner
-	reRepl   atomic.Int64 // objects copied by churn repair
+	replicas int         // replication degree; 1 = single-owner
+	reRepl   obs.Counter // objects copied by churn repair
+	repairs  obs.Counter // regions whose replica set repair actually rebuilt
 	epoch    atomic.Uint64
+	// onRepair, when set (SetRepairHook), observes each region repair that
+	// copied objects. It runs under the same external exclusion topology
+	// mutation requires.
+	onRepair func(owner kautz.Str, copied int)
 }
 
 // Epoch returns the topology epoch: a counter bumped by every mutation that

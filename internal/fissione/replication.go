@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"armada/internal/kautz"
+	"armada/internal/obs"
 )
 
 // Replica groups.
@@ -50,7 +51,19 @@ func (n *Network) Replicas() int { return n.replicas }
 // ReReplications returns the total number of objects copied between peers
 // by churn repair since the network was built (provisioning by SetReplicas
 // is not counted).
-func (n *Network) ReReplications() int64 { return n.reRepl.Load() }
+func (n *Network) ReReplications() int64 { return n.reRepl.Value() }
+
+// SetRepairHook installs an observer called after each region repair that
+// copied objects, with the repaired region's owner and the copy count. It
+// must be set before any topology mutation and runs under the same
+// external exclusion those mutations require.
+func (n *Network) SetRepairHook(f func(owner kautz.Str, copied int)) { n.onRepair = f }
+
+// DescribeMetrics registers the network's repair counters on reg.
+func (n *Network) DescribeMetrics(reg *obs.Registry) {
+	reg.MustRegister("fissione_re_replications_total", &n.reRepl)
+	reg.MustRegister("fissione_repairs_total", &n.repairs)
+}
 
 // effectiveReplicas caps the degree at the network size.
 func (n *Network) effectiveReplicas() int {
@@ -157,11 +170,19 @@ func (n *Network) repairOwner(owner kautz.Str) {
 		}
 	}
 
+	var copied int
 	for _, id := range candidates {
 		if member[id] {
-			n.reRepl.Add(int64(n.peers[id].setPrefixRun(owner, auth)))
+			copied += n.peers[id].setPrefixRun(owner, auth)
 		} else {
 			n.peers[id].dropPrefixRun(owner)
+		}
+	}
+	if copied > 0 {
+		n.reRepl.Add(int64(copied))
+		n.repairs.Inc()
+		if n.onRepair != nil {
+			n.onRepair(owner, copied)
 		}
 	}
 }

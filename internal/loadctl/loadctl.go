@@ -31,6 +31,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"armada/internal/obs"
 )
 
 // Sample is one peer's load observation: the region identifier, the number
@@ -156,7 +158,13 @@ type Controller struct {
 	lastTick   time.Time
 	lastAction time.Time
 	grown      int // net peers added by controller actions
-	counters   Counters
+
+	// Action counters live as registry instruments (see DescribeMetrics);
+	// Report assembles the public Counters struct from them.
+	autoSplits    obs.Counter
+	migrations    obs.Counter
+	cascadeSplits obs.Counter
+	failedActions obs.Counter
 
 	startOnce sync.Once
 	stopOnce  sync.Once
@@ -254,16 +262,16 @@ func (c *Controller) Tick(now time.Time) {
 		return
 	case actSplit:
 		extra, err := c.act.Split(hot)
-		c.noteAction(now, err, func(cnt *Counters) {
-			cnt.AutoSplits++
-			cnt.CascadeSplits += int64(extra)
+		c.noteAction(now, err, func() {
+			c.autoSplits.Inc()
+			c.cascadeSplits.Add(int64(extra))
 			c.grown += 1 + extra
 		})
 	case actMigrate:
 		extra, err := c.act.Migrate(donor, hot)
-		c.noteAction(now, err, func(cnt *Counters) {
-			cnt.Migrations++
-			cnt.CascadeSplits += int64(extra)
+		c.noteAction(now, err, func() {
+			c.migrations.Inc()
+			c.cascadeSplits.Add(int64(extra))
 			c.grown += extra // one peer left, one was created
 		})
 	}
@@ -317,7 +325,7 @@ func (c *Controller) decide(now time.Time) (act action, hot, donor string) {
 }
 
 // noteAction records one attempted action's outcome.
-func (c *Controller) noteAction(now time.Time, err error, onSuccess func(*Counters)) {
+func (c *Controller) noteAction(now time.Time, err error, onSuccess func()) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	// Failed attempts advance the cooldown too: a persistently impossible
@@ -325,17 +333,30 @@ func (c *Controller) noteAction(now time.Time, err error, onSuccess func(*Counte
 	// be retried every tick.
 	c.lastAction = now
 	if err != nil {
-		c.counters.FailedActions++
+		c.failedActions.Inc()
 		return
 	}
-	onSuccess(&c.counters)
+	onSuccess()
+}
+
+// DescribeMetrics registers the controller's action counters on reg.
+func (c *Controller) DescribeMetrics(reg *obs.Registry) {
+	reg.MustRegister("loadctl_auto_splits_total", &c.autoSplits)
+	reg.MustRegister("loadctl_migrations_total", &c.migrations)
+	reg.MustRegister("loadctl_cascade_splits_total", &c.cascadeSplits)
+	reg.MustRegister("loadctl_failed_actions_total", &c.failedActions)
 }
 
 // Report snapshots the controller's counters and hottest regions.
 func (c *Controller) Report() Report {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	rep := Report{Counters: c.counters, Tracked: len(c.rates)}
+	rep := Report{Counters: Counters{
+		AutoSplits:    c.autoSplits.Value(),
+		Migrations:    c.migrations.Value(),
+		CascadeSplits: c.cascadeSplits.Value(),
+		FailedActions: c.failedActions.Value(),
+	}, Tracked: len(c.rates)}
 	rep.Hottest = make([]RegionRate, 0, len(c.rates))
 	for id, r := range c.rates {
 		rep.Hottest = append(rep.Hottest, RegionRate{ID: id, Rate: r.rate})

@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	reg := NewRegistry()
+	var c Counter
+	var g Gauge
+	reg.MustRegister("ops_total", &c)
+	reg.MustRegister("inflight", &g)
+	reg.MustRegister("peers", GaugeFunc(func() int64 { return 42 }))
+
+	c.Inc()
+	c.Add(4)
+	g.Set(7)
+	g.Add(-2)
+
+	v := reg.Values()
+	if v["ops_total"] != 5 {
+		t.Errorf("counter = %d, want 5", v["ops_total"])
+	}
+	if v["inflight"] != 5 {
+		t.Errorf("gauge = %d, want 5", v["inflight"])
+	}
+	if v["peers"] != 42 {
+		t.Errorf("gauge func = %d, want 42", v["peers"])
+	}
+	// CounterValues must exclude gauges: deltas of its snapshots stay
+	// meaningful.
+	cv := reg.CounterValues()
+	if _, ok := cv["inflight"]; ok {
+		t.Errorf("CounterValues includes gauge: %v", cv)
+	}
+	if _, ok := cv["peers"]; ok {
+		t.Errorf("CounterValues includes gauge func: %v", cv)
+	}
+	if cv["ops_total"] != 5 {
+		t.Errorf("CounterValues counter = %d, want 5", cv["ops_total"])
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(1, 2, 4)
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 106.0; got != want {
+		t.Errorf("sum = %v, want %v", got, want)
+	}
+	bounds, cum := h.Buckets()
+	if len(bounds) != 3 {
+		t.Fatalf("bounds = %v", bounds)
+	}
+	// Cumulative: ≤1 → {0.5, 1}; ≤2 → +{1.5}; ≤4 → +{3}; +Inf → +{100}.
+	want := []int64{2, 3, 4}
+	for i := range want {
+		if cum[i] != want[i] {
+			t.Errorf("cum[%d] = %d, want %d", i, cum[i], want[i])
+		}
+	}
+}
+
+func TestHistogramPanicsOnBadBounds(t *testing.T) {
+	for _, bounds := range [][]float64{{}, {2, 1}, {1, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v) did not panic", bounds)
+				}
+			}()
+			NewHistogram(bounds...)
+		}()
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.MustRegister("x", &Counter{})
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate MustRegister did not panic")
+		}
+	}()
+	reg.MustRegister("x", &Counter{})
+}
+
+// TestRegistryConcurrent is the -race stress test: concurrent writers on
+// every instrument kind while readers snapshot and export continuously.
+func TestRegistryConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	var c Counter
+	var g Gauge
+	h := NewHistogram(1, 10, 100)
+	reg.MustRegister("c_total", &c)
+	reg.MustRegister("g", &g)
+	reg.MustRegister("h", h)
+
+	const (
+		writers = 8
+		perW    = 2000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 128))
+			}
+		}(w)
+	}
+	// Readers run until the writers finish.
+	done := make(chan struct{})
+	var readers sync.WaitGroup
+	for rdr := 0; rdr < 4; rdr++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			var buf bytes.Buffer
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				_ = reg.Values()
+				buf.Reset()
+				if err := reg.WritePrometheus(&buf); err != nil {
+					t.Errorf("WritePrometheus: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	readers.Wait()
+
+	total := int64(writers * perW)
+	if got := c.Value(); got != total {
+		t.Errorf("counter = %d, want %d", got, total)
+	}
+	if got := g.Value(); got != total {
+		t.Errorf("gauge = %d, want %d", got, total)
+	}
+	if got := h.Count(); got != total {
+		t.Errorf("histogram count = %d, want %d", got, total)
+	}
+	// The CAS-maintained sum must be exact: every observed value is an
+	// integer small enough that float64 addition is lossless.
+	var wantSum float64
+	for i := 0; i < perW; i++ {
+		wantSum += float64(i % 128)
+	}
+	wantSum *= writers
+	if got := h.Sum(); got != wantSum {
+		t.Errorf("histogram sum = %v, want %v", got, wantSum)
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	reg := NewRegistry()
+	var c Counter
+	c.Add(3)
+	h := NewHistogram(0.5, 1)
+	h.Observe(0.25)
+	h.Observe(2)
+	reg.MustRegister("armada_ops_total", &c)
+	reg.MustRegister("armada_ratio", h)
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE armada_ops_total counter\narmada_ops_total 3\n",
+		"# TYPE armada_ratio histogram\n",
+		`armada_ratio_bucket{le="0.5"} 1`,
+		`armada_ratio_bucket{le="1"} 1`,
+		`armada_ratio_bucket{le="+Inf"} 2`,
+		"armada_ratio_sum 2.25",
+		"armada_ratio_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatBound(t *testing.T) {
+	for in, want := range map[float64]string{
+		0.5: "0_5", 1: "1", 2.25: "2_25", 1e21: "1e21",
+	} {
+		if got := formatBound(in); got != want {
+			t.Errorf("formatBound(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 
 	"armada/internal/core"
 	"armada/internal/kautz"
+	"armada/internal/obs"
 )
 
 // MaxKeyLen bounds the cache key length: region prefixes are truncated to
@@ -45,9 +46,9 @@ type Cache struct {
 	ll       *list.List // front = most recently used
 	byKey    map[string]*list.Element
 
-	hits   int64
-	misses int64
-	stale  int64 // lookups that evicted an entry from an older epoch
+	hits   obs.Counter
+	misses obs.Counter
+	stale  obs.Counter // lookups that evicted an entry from an older epoch
 }
 
 // centry is one cached frontier under its key.
@@ -80,22 +81,22 @@ func (c *Cache) Lookup(key string, need kautz.Region, lo, hi []float64, epoch ui
 	defer c.mu.Unlock()
 	el, ok := c.byKey[key]
 	if !ok {
-		c.misses++
+		c.misses.Inc()
 		return nil, false
 	}
 	en := el.Value.(*centry)
 	if en.f.Epoch != epoch {
 		c.removeLocked(el)
-		c.stale++
-		c.misses++
+		c.stale.Inc()
+		c.misses.Inc()
 		return nil, false
 	}
 	if !en.f.Covers(need) || !en.f.CoversBounds(lo, hi) {
-		c.misses++
+		c.misses.Inc()
 		return nil, false
 	}
 	c.ll.MoveToFront(el)
-	c.hits++
+	c.hits.Inc()
 	return en.f, true
 }
 
@@ -141,10 +142,22 @@ func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return Stats{
-		Hits:     c.hits,
-		Misses:   c.misses,
-		Stale:    c.stale,
+		Hits:     c.hits.Value(),
+		Misses:   c.misses.Value(),
+		Stale:    c.stale.Value(),
 		Entries:  c.ll.Len(),
 		Capacity: c.capacity,
 	}
+}
+
+// DescribeMetrics registers the cache's counters on reg.
+func (c *Cache) DescribeMetrics(reg *obs.Registry) {
+	reg.MustRegister("frontier_cache_hits_total", &c.hits)
+	reg.MustRegister("frontier_cache_misses_total", &c.misses)
+	reg.MustRegister("frontier_cache_stale_total", &c.stale)
+	reg.MustRegister("frontier_cache_entries", obs.GaugeFunc(func() int64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return int64(c.ll.Len())
+	}))
 }

@@ -153,3 +153,14 @@ func (c *SafeSample) Snapshot() *Sample {
 	defer c.mu.Unlock()
 	return &Sample{values: append([]float64(nil), c.s.values...)}
 }
+
+// Drain returns the accumulated sample and resets the accumulator, so a
+// periodic reader (the workload runner's interval snapshots) gets
+// interval-local observations instead of run-cumulative ones.
+func (c *SafeSample) Drain() *Sample {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := &Sample{values: c.s.values}
+	c.s = Sample{}
+	return out
+}

@@ -6,6 +6,7 @@ import (
 
 	"armada/internal/kautz"
 	"armada/internal/loadctl"
+	"armada/internal/obs"
 )
 
 // LoadControlConfig tunes the adaptive load controller enabled by
@@ -81,6 +82,7 @@ func (n *Network) startLoadControl(cfg LoadControlConfig, peers int) {
 		MaxGrowth:      cfg.MaxGrowth,
 		Migrate:        cfg.Migrate,
 	}, loadActuator{n})
+	n.lctl.DescribeMetrics(n.obs.reg)
 	n.lctl.Start()
 }
 
@@ -131,6 +133,9 @@ func (n *Network) splitRegion(id string) (extra int, err error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	_, _, extra, err = n.net.SplitRegion(kautz.Str(id))
+	if err == nil && n.obs.flight != nil {
+		n.obs.flight.Record(obs.Event{Kind: obs.EvSplit, From: id, V1: int64(extra)})
+	}
 	return extra, wrapFissioneErr(err, id)
 }
 
@@ -160,6 +165,9 @@ func (n *Network) migrateOwnership(donor, hot string) (extra int, err error) {
 		return 0, err
 	}
 	_, _, extra, err = n.net.SplitRegion(owner)
+	if err == nil && n.obs.flight != nil {
+		n.obs.flight.Record(obs.Event{Kind: obs.EvMigrate, From: donor, To: hot, V1: int64(extra)})
+	}
 	return extra, wrapFissioneErr(err, string(owner))
 }
 

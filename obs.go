@@ -1,0 +1,134 @@
+package armada
+
+import (
+	"errors"
+	"io"
+	"math"
+	"sync/atomic"
+
+	"armada/internal/core"
+	"armada/internal/kautz"
+	"armada/internal/obs"
+)
+
+// ErrNoRecorder is returned by WriteFlightTrace on a network built without
+// WithFlightRecorder.
+var ErrNoRecorder = errors.New("armada: network built without WithFlightRecorder")
+
+// netObs bundles the network's observability state: the metrics registry
+// every component registers into, the optional flight recorder, and the
+// delay-bound conformance instruments.
+type netObs struct {
+	reg *obs.Registry
+	// flight is the query-lifecycle flight recorder; nil without
+	// WithFlightRecorder (queries then skip all event construction).
+	flight *obs.Recorder
+	// delayRatio observes each query's realized Delay divided by the
+	// instantaneous 2·log₂N bound; delayViol counts queries at or above
+	// the bound (the paper's theorem says every one stays strictly below).
+	delayRatio *obs.Histogram
+	delayViol  obs.Counter
+	// qseq issues flight-recorder query IDs.
+	qseq atomic.Uint64
+}
+
+// initObs builds the network's registry, registers every component's
+// instruments on it and, when configured, attaches the flight recorder.
+// Called once from NewNetwork, after the engine and caches exist and
+// before any traffic.
+func (n *Network) initObs(cfg config) {
+	o := &n.obs
+	o.reg = obs.NewRegistry()
+	n.eng.Metrics().Describe(o.reg)
+	n.net.DescribeMetrics(o.reg)
+	if n.fcache != nil {
+		n.fcache.DescribeMetrics(o.reg)
+	}
+	o.delayRatio = obs.NewHistogram(0.25, 0.5, 0.75, 0.9, 1, 1.25, 1.5, 2)
+	o.reg.MustRegister("query_delay_vs_bound", o.delayRatio)
+	o.reg.MustRegister("delay_bound_violations", &o.delayViol)
+	o.reg.MustRegister("peers", obs.GaugeFunc(func() int64 { return int64(n.Size()) }))
+	if cfg.flightRecorder > 0 {
+		o.flight = obs.NewRecorder(cfg.flightRecorder)
+		o.reg.MustRegister("flight_recorder_events_total", o.flight.TotalCounter())
+		// Repairs run under the topology write lock; Record is a short
+		// mutex-guarded ring append, safe there.
+		n.net.SetRepairHook(func(owner kautz.Str, copied int) {
+			o.flight.Record(obs.Event{Kind: obs.EvRepair, From: string(owner), V1: int64(copied)})
+		})
+	}
+}
+
+// noteQuery samples one finished query against the paper's delay bound —
+// fewer than 2·log₂N overlay hops for the instantaneous network size N.
+// The caller holds the read lock, so Size is exact for this query.
+func (n *Network) noteQuery(s Stats) {
+	size := n.net.Size()
+	if size < 2 {
+		return
+	}
+	bound := 2 * math.Log2(float64(size))
+	n.obs.delayRatio.Observe(float64(s.Delay) / bound)
+	if float64(s.Delay) >= bound {
+		n.obs.delayViol.Inc()
+	}
+}
+
+// traceFunc builds the engine hop observer for one query: the public hop
+// sink (WithTrace), the flight recorder, or both. With a recorder, hop
+// events are recorded directly from the engine callback — no public Hop is
+// constructed unless a sink asked for one. When neither is present the
+// caller installs no observer at all, so counting-only queries pay zero
+// tracing overhead (cost counters fold from Stats the engine computes
+// anyway).
+func (n *Network) traceFunc(sink func(Hop), qid uint64) core.TraceFunc {
+	rec := n.obs.flight
+	if rec == nil {
+		return func(_ core.HopKind, from, to kautz.Str, depth, remaining int) {
+			sink(Hop{From: string(from), To: string(to), Depth: depth, Remaining: remaining})
+		}
+	}
+	return func(kind core.HopKind, from, to kautz.Str, depth, remaining int) {
+		var ev obs.EventKind
+		switch kind {
+		case core.HopForward:
+			ev = obs.EvDescentStep
+		case core.HopDeliver:
+			ev = obs.EvDeliver
+		case core.HopRedirect:
+			ev = obs.EvReplicaRedirect
+		case core.HopSeed:
+			ev = obs.EvFrontierSeed
+		}
+		rec.Record(obs.Event{Kind: ev, QID: qid, From: string(from), To: string(to), Depth: depth, Remaining: remaining})
+		if sink != nil {
+			sink(Hop{From: string(from), To: string(to), Depth: depth, Remaining: remaining})
+		}
+	}
+}
+
+// MetricValues returns a snapshot of every monotonic metric the network
+// maintains — counters plus histogram observation and cumulative bucket
+// counts, keyed by metric name. Gauges are excluded, so the difference of
+// two snapshots is a meaningful interval delta (the workload runner
+// reports exactly that).
+func (n *Network) MetricValues() map[string]int64 { return n.obs.reg.CounterValues() }
+
+// WriteMetrics writes every registered metric — gauges included — in the
+// Prometheus text exposition format. armada-load serves it at
+// -metrics-addr /metrics.
+func (n *Network) WriteMetrics(w io.Writer) error { return n.obs.reg.WritePrometheus(w) }
+
+// FlightRecorderEnabled reports whether the network was built with
+// WithFlightRecorder.
+func (n *Network) FlightRecorderEnabled() bool { return n.obs.flight != nil }
+
+// WriteFlightTrace writes the flight recorder's retained events as Chrome
+// trace-event JSON (loadable in chrome://tracing or Perfetto). It returns
+// ErrNoRecorder on a network built without WithFlightRecorder.
+func (n *Network) WriteFlightTrace(w io.Writer) error {
+	if n.obs.flight == nil {
+		return ErrNoRecorder
+	}
+	return n.obs.flight.WriteChromeTrace(w)
+}

@@ -13,14 +13,15 @@ type AttributeSpace struct {
 
 // config collects construction options for a Network.
 type config struct {
-	k             int
-	seed          int64
-	attrs         []AttributeSpace
-	balanced      bool
-	async         bool
-	replicas      int
-	frontierCache int
-	loadControl   *LoadControlConfig
+	k              int
+	seed           int64
+	attrs          []AttributeSpace
+	balanced       bool
+	async          bool
+	replicas       int
+	frontierCache  int
+	flightRecorder int
+	loadControl    *LoadControlConfig
 }
 
 // Option configures NewNetwork.
@@ -123,6 +124,23 @@ func WithFrontierCache(capacity int) Option {
 			return fmt.Errorf("%w: frontier cache capacity %d < 1", errBadOption, capacity)
 		}
 		c.frontierCache = capacity
+		return nil
+	})
+}
+
+// WithFlightRecorder attaches a query-lifecycle flight recorder to the
+// network: a bounded ring buffer retaining the last capacity structured,
+// timestamped events — query start/end, every descent hop, frontier
+// seeds and captures, replica redirects, deliveries, page cuts, replica
+// repairs and load-controller actions. Dump it with WriteFlightTrace
+// (Chrome trace-event JSON). The default is no recorder; without one,
+// queries skip all per-hop event construction.
+func WithFlightRecorder(capacity int) Option {
+	return optionFunc(func(c *config) error {
+		if capacity < 1 {
+			return fmt.Errorf("%w: flight recorder capacity %d < 1", errBadOption, capacity)
+		}
+		c.flightRecorder = capacity
 		return nil
 	})
 }

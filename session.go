@@ -7,6 +7,7 @@ import (
 
 	"armada/internal/core"
 	"armada/internal/kautz"
+	"armada/internal/obs"
 	"armada/internal/session"
 )
 
@@ -158,6 +159,9 @@ type frontierExec struct {
 	// cursored Do could neither reuse nor cache one — capturing there
 	// would be pure waste.
 	wantCapture bool
+	// qid tags the execution's flight-recorder events (0 without a
+	// recorder); Network.exec stamps it.
+	qid uint64
 
 	used      *core.Frontier // the frontier that seeded, or the fresh capture
 	fromCache bool           // used came from the shared cache
@@ -209,6 +213,10 @@ func (n *Network) runFrontierRange(ctx context.Context, issuer string, lo, hi []
 		fr.used, fr.saved = cand, true
 	} else {
 		fr.used, fr.fromCache = res.Frontier, false
+		if res.Frontier != nil && n.obs.flight != nil {
+			n.obs.flight.Record(obs.Event{Kind: obs.EvFrontierCapture, QID: fr.qid,
+				V1: int64(len(res.Frontier.Entries))})
+		}
 		// Only cursor-free captures enter the cache: they cover the whole
 		// query region, so later queries over it (or anything inside it)
 		// can seed from them. A mid-walk capture covers only the region

@@ -90,6 +90,25 @@ var presets = []Scenario{
 		SplitThreshold: 150,
 	},
 	{
+		// hot-drift with the controller's growth cap clamped low: auto-split
+		// capacity exhausts in the first second or two, so the rest of the
+		// run must chase the hotspot through ownership migration — the
+		// preset that makes `migrations > 0` a hard assertion rather than a
+		// lucky outcome. Identical traffic to hot-drift otherwise.
+		Name:           "hot-drift-cap",
+		Peers:          400,
+		Preload:        4000,
+		Duration:       6 * time.Second,
+		Replicas:       2,
+		Mix:            Mix{Publish: 50, Unpublish: 5, Lookup: 5, Range: 40},
+		Keys:           KeyDist{Kind: KeyHotspot, HotFraction: 0.02, HotWeight: 0.95},
+		HotDrift:       12 * time.Second,
+		RangeSize:      SizeDist{MinFrac: 0.002, MaxFrac: 0.01},
+		LoadControl:    true,
+		SplitThreshold: 150,
+		MaxGrowth:      4,
+	},
+	{
 		// Sustained mixed traffic while the overlay churns hard, including
 		// crash-stops — the regime the paper's stable-network delay bounds
 		// say nothing about. Runs with 2-way replication so crashes lose

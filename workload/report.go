@@ -152,6 +152,14 @@ type Snapshot struct {
 	Throughput float64 `json:"throughput_per_sec"`
 	// Peers is the network size at snapshot time.
 	Peers int `json:"peers"`
+	// LatencyMs summarizes the wall-clock latencies of the operations that
+	// completed in this interval (all kinds pooled) — interval-local, not
+	// run-cumulative, so a latency regression shows in the interval it
+	// happens.
+	LatencyMs Quantiles `json:"latency_ms,omitzero"`
+	// Metrics holds this interval's growth of every network counter that
+	// moved (armada.MetricValues deltas; unchanged counters are omitted).
+	Metrics map[string]int64 `json:"metrics,omitempty"`
 }
 
 // Report is the outcome of one workload run. It marshals to the JSON
@@ -209,6 +217,15 @@ type Report struct {
 	// LoadControl counts the load controller's actions during the run;
 	// absent when the scenario runs without load control.
 	LoadControl *LoadControlReport `json:"load_control,omitempty"`
+	// Metrics is the full-run growth of every network counter
+	// (armada.MetricValues at run end minus run start, all keys), the
+	// machine-readable face of the run: engine message and delivery
+	// totals, cache hits, controller actions, conformance histograms.
+	Metrics map[string]int64 `json:"metrics,omitempty"`
+	// DelayBoundViolations counts queries whose realized hop delay reached
+	// the paper's 2·log₂N bound during the run. The theorem says zero;
+	// always present so CI can assert exactly that.
+	DelayBoundViolations int64 `json:"delay_bound_violations"`
 	// Env records the environment the report was produced in; -compare
 	// gates on it.
 	Env       *EnvReport `json:"env,omitempty"`

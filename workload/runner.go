@@ -100,7 +100,8 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 	bgCtx, stopBG := context.WithCancel(ctx)
 	defer stopBG()
 
-	coll := &collector{trackSpread: r.sc.Replicas > 1}
+	startMetrics := r.net.MetricValues()
+	coll := newCollector(r.sc.Replicas > 1, startMetrics)
 	startPeers := r.net.Size()
 	startReRepl := r.net.ReReplications()
 	startCache, trackCache := r.net.FrontierCacheStats()
@@ -148,9 +149,11 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("workload: run aborted: %w", err)
 	}
-	coll.takeSnapshot(elapsed, r.net.Size()) // final snapshot, always present
+	coll.takeSnapshot(elapsed, r.net.Size(), r.net.MetricValues()) // final snapshot, always present
 	rep := r.report(elapsed, startPeers, coll)
 	rep.ReReplications = r.net.ReReplications() - startReRepl
+	rep.Metrics = metricsDelta(startMetrics, r.net.MetricValues(), false)
+	rep.DelayBoundViolations = rep.Metrics["delay_bound_violations"]
 	if trackCache {
 		// Report this run's slice of the cache counters (the network may
 		// be reused across runs).
@@ -555,7 +558,7 @@ func (r *Runner) snapshots(ctx context.Context, start time.Time, coll *collector
 			return
 		case <-tick.C:
 		}
-		snap := coll.takeSnapshot(time.Since(start), r.net.Size())
+		snap := coll.takeSnapshot(time.Since(start), r.net.Size(), r.net.MetricValues())
 		if r.OnSnapshot != nil {
 			r.OnSnapshot(snap)
 		}
@@ -644,6 +647,11 @@ type opCollector struct {
 	frontierHits  atomic.Int64
 	descentsSaved atomic.Int64
 
+	// interval points at the run collector's shared interval-latency
+	// sample; record feeds it alongside lat so snapshots can report
+	// interval-local quantiles.
+	interval *stats.SafeSample
+
 	lat         stats.SafeSample // wall-clock service time, ms
 	delay       stats.SafeSample // hop delay (query kinds)
 	msgs        stats.SafeSample // overlay messages (query kinds)
@@ -662,7 +670,9 @@ func (oc *opCollector) record(start time.Time, err error) {
 		oc.errs.Add(1)
 		return
 	}
-	oc.lat.Add(float64(time.Since(start)) / float64(time.Millisecond))
+	ms := float64(time.Since(start)) / float64(time.Millisecond)
+	oc.lat.Add(ms)
+	oc.interval.Add(ms)
 }
 
 // collector aggregates a whole run.
@@ -688,11 +698,42 @@ type collector struct {
 	churnSkips  atomic.Int64
 	churnErrs   atomic.Int64
 
-	snapMu   sync.Mutex
-	snaps    []Snapshot
-	lastOps  int64
-	lastErrs int64
-	lastAt   time.Duration
+	// intervalLat pools the wall-clock latencies of the current interval
+	// across all op kinds; takeSnapshot drains it.
+	intervalLat stats.SafeSample
+
+	snapMu      sync.Mutex
+	snaps       []Snapshot
+	lastOps     int64
+	lastErrs    int64
+	lastAt      time.Duration
+	lastMetrics map[string]int64
+}
+
+// newCollector builds a run collector; startMetrics is the network's
+// counter snapshot at run start, the baseline of the first interval's
+// metric deltas.
+func newCollector(trackSpread bool, startMetrics map[string]int64) *collector {
+	c := &collector{trackSpread: trackSpread, lastMetrics: startMetrics}
+	for i := range c.ops {
+		c.ops[i].interval = &c.intervalLat
+	}
+	return c
+}
+
+// metricsDelta returns end minus start per counter. With onlyChanged set,
+// unmoved counters are dropped (interval snapshots stay compact); without
+// it every end key is present (the report's full-run block).
+func metricsDelta(start, end map[string]int64, onlyChanged bool) map[string]int64 {
+	out := make(map[string]int64, len(end))
+	for k, v := range end {
+		d := v - start[k]
+		if onlyChanged && d == 0 {
+			continue
+		}
+		out[k] = d
+	}
+	return out
 }
 
 // noteReadSpread records one query's replica read spread: the fraction of
@@ -716,7 +757,7 @@ func (c *collector) totals() (ops, errs int64) {
 // takeSnapshot records the interval since the previous snapshot. at is
 // clamped to the previous snapshot's time so a final snapshot racing a
 // periodic tick can never make the interval list go backwards.
-func (c *collector) takeSnapshot(at time.Duration, peers int) Snapshot {
+func (c *collector) takeSnapshot(at time.Duration, peers int, metrics map[string]int64) Snapshot {
 	ops, errs := c.totals()
 	c.snapMu.Lock()
 	defer c.snapMu.Unlock()
@@ -724,15 +765,17 @@ func (c *collector) takeSnapshot(at time.Duration, peers int) Snapshot {
 		at = c.lastAt
 	}
 	snap := Snapshot{
-		AtSec:  at.Seconds(),
-		Ops:    int(ops - c.lastOps),
-		Errors: int(errs - c.lastErrs),
-		Peers:  peers,
+		AtSec:     at.Seconds(),
+		Ops:       int(ops - c.lastOps),
+		Errors:    int(errs - c.lastErrs),
+		Peers:     peers,
+		LatencyMs: quantilesOf(c.intervalLat.Drain()),
+		Metrics:   metricsDelta(c.lastMetrics, metrics, true),
 	}
 	if dt := (at - c.lastAt).Seconds(); dt > 0 {
 		snap.Throughput = float64(snap.Ops) / dt
 	}
-	c.lastOps, c.lastErrs, c.lastAt = ops, errs, at
+	c.lastOps, c.lastErrs, c.lastAt, c.lastMetrics = ops, errs, at, metrics
 	c.snaps = append(c.snaps, snap)
 	return snap
 }

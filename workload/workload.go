@@ -249,6 +249,17 @@ type Scenario struct {
 	// deliveries/second on one region; 0 = the armada default). Requires
 	// LoadControl.
 	SplitThreshold float64 `json:"split_threshold,omitempty"`
+	// MaxGrowth caps the peers the controller's auto-splits may add (0 =
+	// the armada default, an eighth of the initial size). A low cap pushes
+	// the controller into migration early — the hot-drift-cap preset uses
+	// it to exercise ownership migration inside a short run. Requires
+	// LoadControl.
+	MaxGrowth int `json:"max_growth,omitempty"`
+	// FlightRecorder, when positive, builds the network with a
+	// query-lifecycle flight recorder of that event capacity
+	// (armada.WithFlightRecorder); armada-load dumps it as Chrome
+	// trace-event JSON via -trace-out. Default 0 — no recorder.
+	FlightRecorder int `json:"flight_recorder,omitempty"`
 	// HotDrift, when positive, makes the KeyHotspot hot interval drift:
 	// its low edge sweeps the whole key space once per HotDrift period
 	// (wrapping), so publishes and queries chase a moving hotspot instead
@@ -346,8 +357,12 @@ func (s Scenario) NetworkOptions() []armada.Option {
 	if s.LoadControl {
 		opts = append(opts, armada.WithLoadControl(armada.LoadControlConfig{
 			SplitThreshold: s.SplitThreshold,
+			MaxGrowth:      s.MaxGrowth,
 			Migrate:        true,
 		}))
+	}
+	if s.FlightRecorder > 0 {
+		opts = append(opts, armada.WithFlightRecorder(s.FlightRecorder))
 	}
 	return opts
 }
@@ -421,6 +436,15 @@ func (s Scenario) validate() error {
 	}
 	if s.SplitThreshold > 0 && !s.LoadControl {
 		return bad("split threshold %v set without load control", s.SplitThreshold)
+	}
+	if s.MaxGrowth < 0 {
+		return bad("negative load-control growth cap %d", s.MaxGrowth)
+	}
+	if s.MaxGrowth > 0 && !s.LoadControl {
+		return bad("growth cap %d set without load control", s.MaxGrowth)
+	}
+	if s.FlightRecorder < 0 {
+		return bad("negative flight recorder capacity %d", s.FlightRecorder)
 	}
 	if s.HotDrift < 0 {
 		return bad("negative hot drift %v", s.HotDrift)
