@@ -47,6 +47,7 @@ import (
 	"armada/internal/naming"
 	"armada/internal/obs"
 	"armada/internal/session"
+	"armada/internal/shortcut"
 )
 
 // Errors returned by Network operations.
@@ -83,6 +84,11 @@ type Network struct {
 	// WithFrontierCache): range queries capture their descent frontiers
 	// into it and seed from covering entries, skipping the descent.
 	fcache *session.Cache
+	// stable is the learned shortcut routing table (nil without
+	// WithShortcutTable): every descent's deliveries are learned into it,
+	// and lookups and single-attribute range queries whose regions its
+	// fresh entries tile route in one direct hop per destination.
+	stable *shortcut.Table
 	// lctl is the background load controller (nil without
 	// WithLoadControl); Close stops it.
 	lctl *loadctl.Controller
@@ -139,12 +145,17 @@ func NewNetwork(peers int, opts ...Option) (*Network, error) {
 	if cfg.frontierCache > 0 {
 		fcache = session.NewCache(cfg.frontierCache)
 	}
+	var stable *shortcut.Table
+	if cfg.shortcutTable > 0 {
+		stable = shortcut.NewTable(cfg.shortcutTable, cfg.k)
+	}
 	nw := &Network{
 		net:    net,
 		tree:   tree,
 		eng:    eng,
 		mode:   mode,
 		fcache: fcache,
+		stable: stable,
 		rng:    rand.New(rand.NewSource(cfg.seed + 1)),
 	}
 	nw.initObs(cfg)
@@ -570,9 +581,19 @@ func (n *Network) exec(ctx context.Context, q Query, issuer string, onMatch func
 		default:
 			return nil, fmt.Errorf("%w: lookup needs a name or attribute values", ErrBadQuery)
 		}
+		if n.stable != nil {
+			// Lookups are the degenerate region ⟨oid, oid⟩ — always a
+			// single learned owner on a hit.
+			if route, ok := n.shortcutRoute(kautz.Region{Low: oid, High: oid}); ok {
+				opts = append(opts, core.WithShortcutRoute(route))
+			}
+		}
 		res, err := n.eng.Lookup(ctx, kautz.Str(issuer), oid, opts...)
 		if err != nil {
 			return nil, wrapCoreErr(err)
+		}
+		if n.stable != nil && res.Stats.ShortcutHits == 0 && res.Owner != "" {
+			n.learnShortcuts([]kautz.Str{res.Owner})
 		}
 		out := &Result{Owner: string(res.Owner), Stats: statsOf(res.Stats)}
 		for _, o := range res.Objects {
@@ -599,9 +620,12 @@ func (n *Network) exec(ctx context.Context, q Query, issuer string, onMatch func
 			}
 			return resultOf(res), nil
 		}
-		// Non-streaming range queries on a cached network reuse frontiers
-		// even outside sessions: a repeated hot range skips its descent.
-		if fr == nil && onMatch == nil && n.fcache != nil {
+		// Range queries — streaming included — on a network with any
+		// issuer-side routing state (frontier cache or shortcut table) run
+		// through runFrontierRange, which consults both: a repeated hot
+		// range skips its descent, and a region the learned shortcut
+		// entries tile routes in one hop per destination.
+		if fr == nil && (n.fcache != nil || n.stable != nil) {
 			fr = &frontierExec{qid: qid}
 		}
 		if fr == nil {
@@ -614,6 +638,11 @@ func (n *Network) exec(ctx context.Context, q Query, issuer string, onMatch func
 		res, err := n.runFrontierRange(ctx, issuer, lo, hi, q.OffsetID, fr, opts)
 		if err != nil {
 			return nil, err
+		}
+		if n.stable != nil && res.Stats.ShortcutHits == 0 && len(res.Destinations) > 0 {
+			// Learn this descent's (or frontier fan-out's) delivery owners;
+			// a shortcut-served query already found its entries fresh.
+			n.learnShortcuts(res.Destinations)
 		}
 		out := resultOf(res)
 		if fr.saved && fr.fromCache {
@@ -792,6 +821,76 @@ func (n *Network) FrontierCacheStats() (_ FrontierCacheStats, ok bool) {
 		Entries:  s.Entries,
 		Capacity: s.Capacity,
 	}, true
+}
+
+// ShortcutTableStats is a snapshot of the learned shortcut routing
+// table's counters (see WithShortcutTable).
+type ShortcutTableStats struct {
+	// Hits and Misses count route resolutions by lookups and range
+	// queries; Stale is how many entries were dropped on sight after a
+	// topology epoch change; Evicted how many the capacity bound pushed
+	// out.
+	Hits    int64
+	Misses  int64
+	Stale   int64
+	Evicted int64
+	// Entries is the current entry count; Capacity the configured bound.
+	Entries  int
+	Capacity int
+}
+
+// ShortcutTableStats reports the learned shortcut routing table's
+// counters; ok is false when the network was built without
+// WithShortcutTable.
+func (n *Network) ShortcutTableStats() (_ ShortcutTableStats, ok bool) {
+	if n.stable == nil {
+		return ShortcutTableStats{}, false
+	}
+	s := n.stable.Stats()
+	return ShortcutTableStats{
+		Hits:     s.Hits,
+		Misses:   s.Misses,
+		Stale:    s.Stale,
+		Evicted:  s.Evicted,
+		Entries:  s.Entries,
+		Capacity: s.Capacity,
+	}, true
+}
+
+// shortcutRoute resolves a query region against the shortcut table at the
+// live topology epoch. The caller holds the read lock (so the epoch
+// cannot move under the route) and has checked n.stable != nil.
+func (n *Network) shortcutRoute(region kautz.Region) (core.ShortcutRoute, bool) {
+	entries, ok := n.stable.Route(region, n.net.Epoch())
+	if !ok {
+		return core.ShortcutRoute{}, false
+	}
+	targets := make([]core.ShortcutTarget, len(entries))
+	for i, en := range entries {
+		targets[i] = core.ShortcutTarget{Owner: en.Owner, Group: en.Group}
+	}
+	return core.ShortcutRoute{Targets: targets}, true
+}
+
+// learnShortcuts records the region owners a query delivered to into the
+// shortcut table, with their replica groups when the network replicates.
+// The caller holds the read lock, so every owner still exists and the
+// epoch recorded is the one the query ran at.
+func (n *Network) learnShortcuts(owners []kautz.Str) {
+	epoch := n.net.Epoch()
+	replicated := n.net.Replicas() > 1
+	var buf [16]*fissione.Peer
+	for _, owner := range owners {
+		var group []kautz.Str
+		if replicated {
+			peers := n.net.AppendGroupPeers(buf[:0], owner)
+			group = make([]kautz.Str, len(peers))
+			for i, p := range peers {
+				group[i] = p.ID()
+			}
+		}
+		n.stable.Learn(owner, group, epoch)
+	}
 }
 
 // Audit verifies every structural invariant of the overlay: the prefix-free

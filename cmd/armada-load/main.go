@@ -100,6 +100,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		noSess    = fs.Bool("paged-no-session", false, "run range-paged walks as independent per-page queries instead of a session (the descent-reuse ablation)")
 		fcache    = fs.Int("frontier-cache", 0, "issuer-side frontier cache capacity; repeated range queries over covered regions skip their descent (0 = no cache)")
 		rangeBk   = fs.Int("range-buckets", 0, "snap range-query bounds to a grid of this many buckets per attribute space so hot scans repeat exactly (0 = continuous bounds)")
+		shortTab  = fs.Int("shortcut-table", 0, "issuer-side learned shortcut routing table capacity; warm lookups and single-attribute ranges route in one direct hop per destination (0 = no table)")
+		noShort   = fs.Bool("no-shortcut", false, "drop the scenario's shortcut table — the descent-baseline ablation (results are byte-identical, only hops and messages move)")
 		loadCtl   = fs.Bool("load-control", false, "run the adaptive load controller: auto-split regions under sustained delivery load and migrate ownership toward hot regions")
 		splitThr  = fs.Float64("split-threshold", 0, "load control: sustained deliveries/sec on one region that triggers a split (0 = armada default)")
 		maxGrow   = fs.Int("max-growth", 0, "load control: cap on peers auto-splits may add (0 = armada default); at the cap relief continues through migration")
@@ -238,6 +240,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 				keep(fmt.Errorf("-range-buckets %d: must be at least 0", *rangeBk))
 			}
 			sc.RangeBuckets = *rangeBk
+		case "shortcut-table":
+			if *shortTab < 0 {
+				keep(fmt.Errorf("-shortcut-table %d: must be at least 0", *shortTab))
+			}
+			sc.ShortcutTable = *shortTab
 		case "load-control":
 			sc.LoadControl = *loadCtl
 			if !*loadCtl {
@@ -261,6 +268,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if parseErr != nil {
 		return parseErr
 	}
+	if *noShort {
+		// Applied after the flag sweep so the ablation always wins, whatever
+		// the flag order.
+		sc.ShortcutTable = 0
+	}
 	if *traceOut != "" && sc.FlightRecorder == 0 {
 		sc.FlightRecorder = 1 << 16
 	}
@@ -277,8 +289,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 
 	runOnce := func() (*workload.Report, error) {
-		fmt.Fprintf(stderr, "armada-load: scenario %q — building %d peers (replicas %d, frontier cache %d), preloading %d objects\n",
-			sc.Name, sc.Peers, sc.Replicas, sc.FrontierCache, sc.Preload)
+		fmt.Fprintf(stderr, "armada-load: scenario %q — building %d peers (replicas %d, frontier cache %d, shortcut table %d), preloading %d objects\n",
+			sc.Name, sc.Peers, sc.Replicas, sc.FrontierCache, sc.ShortcutTable, sc.Preload)
 		net, err := armada.NewNetwork(sc.Peers, sc.NetworkOptions()...)
 		if err != nil {
 			return nil, err
@@ -498,7 +510,7 @@ func compareReports(w io.Writer, rep, base *workload.Report, maxRegress float64)
 		return float64(o.Errors) / float64(o.Count)
 	}
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(tw, "OP\tBASE p99 ms\tRUN p99 ms\tCHANGE\tRUN p95\tERR%%\tVERDICT\n")
+	fmt.Fprintf(tw, "OP\tBASE p99 ms\tRUN p99 ms\tCHANGE\tRUN p95\tBASE hops\tRUN hops\tERR%%\tVERDICT\n")
 	var regressed []string
 	for _, name := range opNamesInOrder(rep, base) {
 		b, inBase := base.Ops[name]
@@ -526,8 +538,11 @@ func compareReports(w io.Writer, rep, base *workload.Report, maxRegress float64)
 		case p99Bad:
 			verdict = "p99 outlier (p95 ok)"
 		}
-		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%+.0f%%\t%.3f\t%.1f\t%s\n",
-			name, bp, rp, change*100, r.LatencyMs.P95, errRate(r)*100, verdict)
+		// Mean realized hops ride along informationally — routing-state
+		// changes (frontier cache, shortcut table) show up here without
+		// gating, since hops are deterministic while latency is noisy.
+		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%+.0f%%\t%.3f\t%.2f\t%.2f\t%.1f\t%s\n",
+			name, bp, rp, change*100, r.LatencyMs.P95, b.Hops.Mean, r.Hops.Mean, errRate(r)*100, verdict)
 	}
 	tw.Flush()
 	if len(regressed) > 0 {

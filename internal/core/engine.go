@@ -86,6 +86,9 @@ const (
 	// HopSeed is one direct issuer→destination fan-out send of a
 	// frontier-seeded query.
 	HopSeed
+	// HopShortcut is one direct issuer→serving-peer send of a
+	// shortcut-routed query (see WithShortcutRoute).
+	HopShortcut
 )
 
 // TraceFunc observes one descent hop. from is the processing peer, to the
@@ -213,6 +216,11 @@ type QueryConfig struct {
 	// region (see WithPrepared), sparing RangeQuery the naming-tree
 	// mapping a frontier-caching caller already performed.
 	Prepared *PreparedRange
+	// Shortcut, when non-nil, offers a learned shortcut route to serve the
+	// query without a descent (see WithShortcutRoute). It is used only
+	// after re-validation against the live topology and silently ignored
+	// otherwise.
+	Shortcut *ShortcutRoute
 }
 
 // QueryOption adjusts one query's configuration.
@@ -286,14 +294,21 @@ type Stats struct {
 	Deliveries int
 	// ReplicaServed counts deliveries served by a replica other than the
 	// region's owner (always 0 under ReadPrimary or without replication).
-	// Each such redirect is accounted as one extra overlay message, and as
-	// one extra hop of delay for that destination.
+	// On a descent each such redirect is accounted as one extra overlay
+	// message, and as one extra hop of delay for that destination; on a
+	// shortcut-routed query the issuer addresses the serving replica
+	// directly, so the redirect costs nothing.
 	ReplicaServed int
 	// DescentsSaved is 1 when the query was seeded from a captured
 	// frontier instead of descending the FRT: Messages then counts one
 	// direct fan-out message per surviving destination (plus replica
 	// redirects), Delay is the single fan-out hop, and Subregions is 0.
 	DescentsSaved int
+	// ShortcutHits is 1 when the query was routed by a learned shortcut
+	// route (WithShortcutRoute): the descent was replaced by one direct
+	// send per destination — DescentsSaved is also 1 — and replica-served
+	// deliveries landed on the chosen replica with no redirect message.
+	ShortcutHits int
 }
 
 // MesgRatio is Messages/Destpeers, the paper's per-destination message
@@ -374,7 +389,8 @@ type queryState struct {
 	dests         []kautz.Str
 	frontier      []FrontierEntry // captured deliveries (cfg.CaptureFrontier only)
 	truncated     bool            // some peer (or the final cut) dropped matches to a Limit
-	replicaServed int             // deliveries redirected to a non-owner replica
+	replicaServed int             // deliveries served by a non-owner replica
+	redirectMsgs  int             // replica serves that cost a redirect message (descents only)
 	redirectDepth int             // deepest redirected delivery (owner depth + 1)
 }
 
@@ -484,6 +500,14 @@ func (e *Engine) descend(ctx context.Context, issuer kautz.Str, region kautz.Reg
 	if _, ok := e.net.Peer(issuer); !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoSuchPeer, issuer)
 	}
+	if cfg.Shortcut != nil {
+		res, ok, err := e.seedFromShortcut(ctx, issuer, region, box, cfg)
+		if ok || err != nil {
+			return res, err
+		}
+		// The route failed re-validation; fall through to the normal
+		// descent with zero messages spent.
+	}
 	state := &queryState{box: box, cfg: cfg}
 	parts := region.SplitByFirstSymbol()
 
@@ -568,6 +592,23 @@ func (e *Engine) step(state *queryState, m simnet.Message) []simnet.Message {
 		}
 		return fwd
 	}
+	if sm, ok := m.Payload.(shortcutMsg); ok {
+		// Shortcut fan-out: the issuer addresses each pre-resolved serving
+		// peer directly; every forward is one overlay message delivering
+		// at depth 1.
+		fwd := make([]simnet.Message, 0, len(sm.sends))
+		for _, s := range sm.sends {
+			if state.cfg.Trace != nil {
+				state.cfg.Trace(HopShortcut, peer.ID(), s.serving, m.Depth, 0)
+			}
+			fwd = append(fwd, simnet.Message{To: string(s.serving), Payload: s})
+		}
+		return fwd
+	}
+	if ss, ok := m.Payload.(shortcutSend); ok {
+		e.deliverShortcut(state, ss, m.Depth)
+		return nil
+	}
 	qm, ok := m.Payload.(queryMsg)
 	if !ok {
 		return nil
@@ -644,6 +685,17 @@ func (e *Engine) deliver(state *queryState, owner *fissione.Peer, region kautz.R
 		state.mu.Unlock()
 		return
 	}
+	e.scanDelivery(state, owner, serving, scan, region, depth, serving != owner)
+}
+
+// scanDelivery runs one delivery's ordered scan on the serving peer and
+// folds the outcome into the query state — the tail shared by descent
+// deliveries (deliver) and shortcut deliveries (deliverShortcut). scan is
+// the region the serving peer scans; region is the delivered region the
+// frontier capture clips. redirectMsg reports whether a non-owner serve
+// cost a redirect message (descents; a shortcut-routed serve is addressed
+// directly and costs none).
+func (e *Engine) scanDelivery(state *queryState, owner, serving *fissione.Peer, scan, region kautz.Region, depth int, redirectMsg bool) {
 	var (
 		collected []Match
 		truncated bool
@@ -687,8 +739,11 @@ func (e *Engine) deliver(state *queryState, owner *fissione.Peer, region kautz.R
 	}
 	if serving != owner {
 		state.replicaServed++
-		if depth+1 > state.redirectDepth {
-			state.redirectDepth = depth + 1
+		if redirectMsg {
+			state.redirectMsgs++
+			if depth+1 > state.redirectDepth {
+				state.redirectDepth = depth + 1
+			}
 		}
 	}
 	if len(collected) > 0 {
@@ -806,9 +861,10 @@ func (state *queryState) result(metrics simnet.Metrics, subregions int) *RangeRe
 		}
 	}
 
-	// A redirected delivery is one extra overlay message (owner → serving
-	// replica), and that destination's data arrives one hop after the
-	// owner received the query.
+	// A delivery redirected mid-descent is one extra overlay message
+	// (owner → serving replica), and that destination's data arrives one
+	// hop after the owner received the query. Shortcut-routed deliveries
+	// address the serving replica directly and add neither.
 	delay := metrics.Delay
 	if state.redirectDepth > delay {
 		delay = state.redirectDepth
@@ -820,7 +876,7 @@ func (state *queryState) result(metrics simnet.Metrics, subregions int) *RangeRe
 		Next:         next,
 		Stats: Stats{
 			Delay:         delay,
-			Messages:      metrics.Messages + state.replicaServed,
+			Messages:      metrics.Messages + state.redirectMsgs,
 			DestPeers:     len(unique),
 			Subregions:    subregions,
 			Deliveries:    len(state.dests),

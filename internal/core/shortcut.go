@@ -1,0 +1,201 @@
+package core
+
+import (
+	"context"
+
+	"armada/internal/fissione"
+	"armada/internal/kautz"
+	"armada/internal/naming"
+	"armada/internal/simnet"
+)
+
+// Shortcut routing.
+//
+// A frontier (frontier.go) reuses the outcome of one specific descent; a
+// shortcut route reuses ownership facts learned across all of them. The
+// issuer-side table (internal/shortcut) maps peer identifiers to owners
+// and replica groups; when its fresh entries tile a query's region, the
+// issuer addresses every destination directly — one message and one hop
+// per destination, no FRT walk. Unlike frontier seeding, the serving
+// replica is chosen at the issuer from the learned group, so a read
+// policy costs no redirect message on a shortcut-routed query.
+//
+// Validation is belt over braces: the route was assembled against the
+// live topology epoch under the same read lock the query runs under, and
+// seedFromShortcut still re-verifies locally — every owner exists and the
+// owners' own regions exactly tile the query region — before a single
+// message is spent. A route that fails any check is discarded and the
+// query descends in full: a stale shortcut costs zero extra messages.
+
+// ShortcutTarget is one learned destination of a shortcut route: the
+// region owner and, on a replicated network, its replica group (owner
+// first; nil or single-element means the owner serves).
+type ShortcutTarget struct {
+	Owner kautz.Str
+	Group []kautz.Str
+}
+
+// ShortcutRoute is a learned cover of a query region: targets whose own
+// regions tile the (cursor-clipped) region in ascending order.
+type ShortcutRoute struct {
+	Targets []ShortcutTarget
+}
+
+// WithShortcutRoute offers a learned shortcut route for this query. The
+// engine uses it only after re-verifying that the targets' own regions
+// exactly tile the query's cursor-clipped region on the live topology;
+// otherwise the query descends in full as if no route were given. Lookup
+// and single-attribute (PIRA) range queries only — a MIRA descent prunes
+// destinations with the box subspace predicate the table cannot express,
+// and flood/top-k keep their own walks.
+func WithShortcutRoute(r ShortcutRoute) QueryOption {
+	return func(c *QueryConfig) { c.Shortcut = &r }
+}
+
+// shortcutMsg is the seed payload of a shortcut-routed query: the issuer
+// fans one direct message out to each pre-resolved serving peer.
+type shortcutMsg struct {
+	sends []shortcutSend
+}
+
+// shortcutSend is one shortcut delivery: the region owner (load and
+// destination accounting), the serving peer the issuer chose from the
+// learned group, and the owner's slice of the query region.
+type shortcutSend struct {
+	owner   kautz.Str
+	serving kautz.Str
+	region  kautz.Region
+}
+
+// seedFromShortcut executes a query over region by fanning out from the
+// issuer directly to the route's targets, skipping the descent. ok is
+// false — with zero messages spent — when the route fails re-validation;
+// the caller then descends normally. On success the result is
+// byte-identical to a full descent's (deliveries scan the same clipped
+// regions under the same box and cursor predicates); Stats differ only in
+// cost: Messages is one per destination (the serving replica was chosen
+// issuer-side, so redirects cost nothing), Delay is the single fan-out
+// hop, Subregions is 0 and DescentsSaved and ShortcutHits are 1.
+func (e *Engine) seedFromShortcut(ctx context.Context, issuer kautz.Str, region kautz.Region, box *naming.Box, cfg QueryConfig) (*RangeResult, bool, error) {
+	route := cfg.Shortcut
+	if len(route.Targets) == 0 {
+		return nil, false, nil
+	}
+	if box != nil && e.tree.Attrs() > 1 {
+		// MIRA prunes destinations inside the region with the box subspace
+		// predicate; a region tiling would over-deliver. Descend instead.
+		return nil, false, nil
+	}
+	sends := make([]shortcutSend, 0, len(route.Targets))
+	cur := region.Low
+	covered := false
+	for _, t := range route.Targets {
+		owner, ok := e.net.Peer(t.Owner)
+		if !ok {
+			return nil, false, nil
+		}
+		own := e.ownRegion(t.Owner)
+		if cur < own.Low || own.High < cur {
+			// The learned cover no longer tiles the region contiguously.
+			return nil, false, nil
+		}
+		slice, ok := own.Intersect(region)
+		if !ok {
+			return nil, false, nil
+		}
+		sends = append(sends, shortcutSend{
+			owner:   t.Owner,
+			serving: e.pickServing(owner, t.Group, cfg.Policy).ID(),
+			region:  slice,
+		})
+		if own.High >= region.High {
+			covered = true
+			break
+		}
+		next, ok := kautz.Succ(own.High)
+		if !ok {
+			return nil, false, nil
+		}
+		cur = next
+	}
+	if !covered {
+		return nil, false, nil
+	}
+
+	state := &queryState{box: box, cfg: cfg}
+	seeds := []simnet.Message{{To: string(issuer), Payload: shortcutMsg{sends: sends}}}
+	metrics, err := e.run(ctx, cfg, seeds, func(m simnet.Message) []simnet.Message {
+		return e.step(state, m)
+	})
+	if err != nil {
+		return nil, true, err
+	}
+	res := state.result(metrics, 0)
+	res.Stats.DescentsSaved = 1
+	res.Stats.ShortcutHits = 1
+	e.metrics.note(res.Stats, true)
+	return res, true, nil
+}
+
+// pickServing chooses the replica that will serve one shortcut delivery
+// from the learned group, applying the query's read policy at the issuer
+// (the descent path resolves the same choice at delivery; see
+// serveTarget). It falls back to the owner whenever the group cannot be
+// resolved — unreplicated networks, ReadPrimary, or a learned member that
+// no longer exists.
+func (e *Engine) pickServing(owner *fissione.Peer, group []kautz.Str, pol ReadPolicy) *fissione.Peer {
+	if e.net.Replicas() == 1 || pol == ReadPrimary || len(group) < 2 {
+		return owner
+	}
+	var buf [16]*fissione.Peer
+	peers := buf[:0]
+	for _, id := range group {
+		p, ok := e.net.Peer(id)
+		if !ok {
+			return owner
+		}
+		peers = append(peers, p)
+	}
+	serving := peers[0]
+	switch pol {
+	case ReadRoundRobin:
+		serving = peers[e.rr.Add(1)%uint64(len(peers))]
+	case ReadLeastLoaded:
+		for _, p := range peers[1:] {
+			if p.ServedReads() < serving.ServedReads() {
+				serving = p
+			}
+		}
+	}
+	return serving
+}
+
+// deliverShortcut records one shortcut delivery: like deliver, but the
+// serving replica was already chosen at the issuer and addressed
+// directly, so a non-owner serve adds no redirect message and no extra
+// hop. The scan region was clipped to the owner's own region at seed
+// time.
+func (e *Engine) deliverShortcut(state *queryState, sm shortcutSend, depth int) {
+	owner, ok := e.net.Peer(sm.owner)
+	if !ok {
+		return // unreachable: the topology is frozen for the query's duration
+	}
+	owner.NoteDelivery()
+	serving := owner
+	if sm.serving != sm.owner {
+		if p, ok := e.net.Peer(sm.serving); ok {
+			serving = p
+		}
+	}
+	if state.cfg.Trace != nil {
+		kind := HopDeliver
+		if serving != owner {
+			kind = HopRedirect
+		}
+		state.cfg.Trace(kind, owner.ID(), serving.ID(), depth, 0)
+	}
+	if e.net.Replicas() > 1 {
+		serving.NoteServed()
+	}
+	e.scanDelivery(state, owner, serving, sm.region, sm.region, depth, false)
+}

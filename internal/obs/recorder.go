@@ -33,6 +33,10 @@ const (
 	// (the descent was skipped): From is the issuer, To a surviving
 	// destination.
 	EvFrontierSeed
+	// EvShortcutSeed is one direct fan-out send of a shortcut-routed query
+	// (the descent was skipped): From is the issuer, To the serving peer
+	// the learned route chose.
+	EvShortcutSeed
 	// EvFrontierCapture records a full descent capturing its frontier; V1
 	// is the number of captured entries.
 	EvFrontierCapture
@@ -65,6 +69,8 @@ func (k EventKind) String() string {
 		return "replica-redirect"
 	case EvFrontierSeed:
 		return "frontier-seed"
+	case EvShortcutSeed:
+		return "shortcut-seed"
 	case EvFrontierCapture:
 		return "frontier-capture"
 	case EvPageCut:
@@ -219,7 +225,7 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 					args["error"] = ev.Note
 				}
 			}
-		case EvDescentStep, EvDeliver, EvReplicaRedirect, EvFrontierSeed:
+		case EvDescentStep, EvDeliver, EvReplicaRedirect, EvFrontierSeed, EvShortcutSeed:
 			ce.Cat = "hop"
 			ce.Phase = "i"
 			ce.Scope = "t"

@@ -136,8 +136,8 @@ func TestChromeTraceRoundTrip(t *testing.T) {
 
 func TestEventKindString(t *testing.T) {
 	kinds := []EventKind{EvQueryStart, EvQueryEnd, EvDescentStep, EvDeliver,
-		EvReplicaRedirect, EvFrontierSeed, EvFrontierCapture, EvPageCut,
-		EvRepair, EvSplit, EvMigrate}
+		EvReplicaRedirect, EvFrontierSeed, EvShortcutSeed, EvFrontierCapture,
+		EvPageCut, EvRepair, EvSplit, EvMigrate}
 	seen := map[string]bool{}
 	for _, k := range kinds {
 		s := k.String()

@@ -1,0 +1,217 @@
+// Package shortcut implements an issuer-side learned shortcut routing
+// table: a bounded LRU mapping peer identifiers (normalized region
+// prefixes — every peer owns exactly the ObjectIDs its identifier
+// prefixes) to the responsible peer and, when replicated, its group
+// members. Entries are learned passively from the delivery hops of every
+// observed descent, so warm regions accumulate routing state for free.
+// On issue, a query whose region the learned entries tile is routed in
+// one direct hop per destination instead of a ~log N FRT descent.
+//
+// Correctness under churn is epoch-based, never best-effort — the same
+// machinery descent frontiers use: every entry records the fissione
+// topology epoch it was learned at, Route refuses entries from any other
+// epoch (dropping them on sight), and a refused route simply means the
+// query descends in full. A stale table can cost the descent it would
+// have saved, never results.
+package shortcut
+
+import (
+	"container/list"
+	"sync"
+
+	"armada/internal/kautz"
+	"armada/internal/obs"
+)
+
+// MaxTargets caps the fan-out of one shortcut route. A region needing
+// more learned entries than this is served by the normal descent, whose
+// per-destination message cost is already amortized at that size.
+const MaxTargets = 16
+
+// Entry is one learned routing fact: the peer owning a region and, on a
+// replicated network, its replica group (owner first, trie-order
+// successors after; nil when unreplicated). Group is immutable after
+// Learn; Route hands the slice out without copying.
+type Entry struct {
+	Owner kautz.Str
+	Group []kautz.Str
+}
+
+// tentry is one table entry with its validity epoch.
+type tentry struct {
+	Entry
+	epoch uint64
+}
+
+// Table is a bounded LRU of learned shortcut entries, safe for concurrent
+// use (queries share it under the network's read lock).
+type Table struct {
+	k int // ObjectID length; an owner's region is ⟨MinExtend, MaxExtend⟩ at this k
+
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	byOwner  map[kautz.Str]*list.Element
+	// minLen and maxLen loosely bound the live owner-identifier lengths,
+	// limiting the longest-prefix probe. They only ever widen: evicting the
+	// last entry of an extreme length costs extra map probes, not wrong
+	// results.
+	minLen, maxLen int
+
+	hits   obs.Counter // routes fully resolved from learned entries
+	misses obs.Counter // routes that fell back to the descent
+	stale  obs.Counter // entries dropped on sight for an epoch mismatch
+	evicts obs.Counter // entries evicted by the capacity bound
+}
+
+// NewTable creates a table holding at most capacity entries (at least 1)
+// for a network with ObjectID length k.
+func NewTable(capacity, k int) *Table {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Table{
+		k:        k,
+		capacity: capacity,
+		ll:       list.New(),
+		byOwner:  make(map[kautz.Str]*list.Element, capacity),
+		minLen:   k + 1,
+	}
+}
+
+// Learn records (or refreshes) the entry for owner at the given topology
+// epoch, evicting the least recently used entry when over capacity. group
+// must not be mutated afterwards.
+func (t *Table) Learn(owner kautz.Str, group []kautz.Str, epoch uint64) {
+	if len(owner) == 0 || len(owner) > t.k {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if el, ok := t.byOwner[owner]; ok {
+		en := el.Value.(*tentry)
+		en.Group, en.epoch = group, epoch
+		t.ll.MoveToFront(el)
+		return
+	}
+	t.byOwner[owner] = t.ll.PushFront(&tentry{Entry: Entry{Owner: owner, Group: group}, epoch: epoch})
+	if len(owner) < t.minLen {
+		t.minLen = len(owner)
+	}
+	if len(owner) > t.maxLen {
+		t.maxLen = len(owner)
+	}
+	for t.ll.Len() > t.capacity {
+		t.removeLocked(t.ll.Back())
+		t.evicts.Inc()
+	}
+}
+
+// Route resolves a query region against the learned entries: it walks the
+// region from Low to High, longest-prefix matching each position to a
+// learned owner and stepping past that owner's region, and succeeds only
+// when fresh entries tile the whole region (in ascending owner order,
+// MaxTargets at most). The prefix-free namespace cover makes the tiling
+// exact: a peer's identifier prefixing an ObjectID means the peer owns it.
+// ok is false — one counted miss, zero messages spent — when any position
+// finds no fresh entry; entries from another epoch are dropped on sight.
+func (t *Table) Route(region kautz.Region, epoch uint64) (targets []Entry, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cur := region.Low
+	for {
+		if len(targets) == MaxTargets {
+			t.misses.Inc()
+			return nil, false
+		}
+		en, el, found := t.probeLocked(cur, epoch)
+		if !found {
+			t.misses.Inc()
+			return nil, false
+		}
+		t.ll.MoveToFront(el)
+		targets = append(targets, en.Entry)
+		high := kautz.MaxExtend(en.Owner, t.k)
+		if high >= region.High {
+			break
+		}
+		next, hasNext := kautz.Succ(high)
+		if !hasNext {
+			t.misses.Inc()
+			return nil, false
+		}
+		cur = next
+	}
+	t.hits.Inc()
+	return targets, true
+}
+
+// probeLocked longest-prefix matches s against the live entries, dropping
+// epoch-mismatched entries on sight. The caller holds t.mu.
+func (t *Table) probeLocked(s kautz.Str, epoch uint64) (*tentry, *list.Element, bool) {
+	high := t.maxLen
+	if len(s) < high {
+		high = len(s)
+	}
+	for l := high; l >= t.minLen; l-- {
+		el, ok := t.byOwner[s[:l]]
+		if !ok {
+			continue
+		}
+		en := el.Value.(*tentry)
+		if en.epoch != epoch {
+			t.removeLocked(el)
+			t.stale.Inc()
+			continue
+		}
+		return en, el, true
+	}
+	return nil, nil, false
+}
+
+// removeLocked unlinks one element; the caller holds t.mu.
+func (t *Table) removeLocked(el *list.Element) {
+	t.ll.Remove(el)
+	delete(t.byOwner, el.Value.(*tentry).Owner)
+}
+
+// Stats is a snapshot of the table's counters.
+type Stats struct {
+	// Hits and Misses count route resolutions; Stale is how many entries
+	// were dropped on sight for a topology epoch mismatch; Evicted how many
+	// the capacity bound pushed out.
+	Hits    int64
+	Misses  int64
+	Stale   int64
+	Evicted int64
+	// Entries is the current entry count; Capacity the configured bound.
+	Entries  int
+	Capacity int
+}
+
+// Stats returns a snapshot of the table's counters.
+func (t *Table) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return Stats{
+		Hits:     t.hits.Value(),
+		Misses:   t.misses.Value(),
+		Stale:    t.stale.Value(),
+		Evicted:  t.evicts.Value(),
+		Entries:  t.ll.Len(),
+		Capacity: t.capacity,
+	}
+}
+
+// DescribeMetrics registers the table's counters on reg.
+func (t *Table) DescribeMetrics(reg *obs.Registry) {
+	reg.MustRegister("shortcut_hits_total", &t.hits)
+	reg.MustRegister("shortcut_misses_total", &t.misses)
+	reg.MustRegister("shortcut_stale_total", &t.stale)
+	reg.MustRegister("shortcut_evictions_total", &t.evicts)
+	reg.MustRegister("shortcut_entries", obs.GaugeFunc(func() int64 {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		return int64(t.ll.Len())
+	}))
+}

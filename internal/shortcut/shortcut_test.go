@@ -1,0 +1,144 @@
+package shortcut
+
+import (
+	"testing"
+
+	"armada/internal/kautz"
+)
+
+const k = 4
+
+// region returns the owned region of an owner prefix at the package's k.
+func region(owner kautz.Str) kautz.Region {
+	return kautz.Region{Low: kautz.MinExtend(owner, k), High: kautz.MaxExtend(owner, k)}
+}
+
+func TestLearnRouteSingleOwner(t *testing.T) {
+	tb := NewTable(8, k)
+	tb.Learn("01", nil, 7)
+	targets, ok := tb.Route(region("01"), 7)
+	if !ok || len(targets) != 1 || targets[0].Owner != "01" {
+		t.Fatalf("Route = %v, %v; want the learned owner", targets, ok)
+	}
+	// A sub-region of the owner's span resolves through the same entry.
+	sub := kautz.Region{Low: kautz.MinExtend("012", k), High: kautz.MaxExtend("012", k)}
+	if targets, ok = tb.Route(sub, 7); !ok || len(targets) != 1 || targets[0].Owner != "01" {
+		t.Fatalf("Route(sub) = %v, %v; want the learned owner", targets, ok)
+	}
+	st := tb.Stats()
+	if st.Hits != 2 || st.Misses != 0 || st.Entries != 1 {
+		t.Fatalf("stats = %+v; want 2 hits, 0 misses, 1 entry", st)
+	}
+}
+
+func TestRouteTilesMultipleOwners(t *testing.T) {
+	tb := NewTable(8, k)
+	group := []kautz.Str{"1", "20"}
+	tb.Learn("0", nil, 1)
+	tb.Learn("1", group, 1)
+	tb.Learn("2", nil, 1)
+	whole := kautz.Region{Low: kautz.MinExtend("0", k), High: kautz.MaxExtend("2", k)}
+	targets, ok := tb.Route(whole, 1)
+	if !ok || len(targets) != 3 {
+		t.Fatalf("Route(whole) = %v, %v; want 3 owners", targets, ok)
+	}
+	for i, want := range []kautz.Str{"0", "1", "2"} {
+		if targets[i].Owner != want {
+			t.Fatalf("target %d = %q, want %q (ascending order)", i, targets[i].Owner, want)
+		}
+	}
+	if g := targets[1].Group; len(g) != 2 || g[0] != group[0] || g[1] != group[1] {
+		t.Fatalf("group not carried through: %v", targets[1].Group)
+	}
+}
+
+func TestRouteGapIsOneMiss(t *testing.T) {
+	tb := NewTable(8, k)
+	tb.Learn("0", nil, 1)
+	tb.Learn("2", nil, 1) // "1" never learned: the tiling has a hole
+	whole := kautz.Region{Low: kautz.MinExtend("0", k), High: kautz.MaxExtend("2", k)}
+	if targets, ok := tb.Route(whole, 1); ok {
+		t.Fatalf("Route across a gap succeeded: %v", targets)
+	}
+	st := tb.Stats()
+	if st.Misses != 1 || st.Hits != 0 {
+		t.Fatalf("stats = %+v; want exactly one miss", st)
+	}
+}
+
+func TestStaleEntriesDroppedOnSight(t *testing.T) {
+	tb := NewTable(8, k)
+	tb.Learn("01", nil, 3)
+	if _, ok := tb.Route(region("01"), 4); ok {
+		t.Fatal("Route trusted an entry from another epoch")
+	}
+	st := tb.Stats()
+	if st.Stale != 1 || st.Entries != 0 {
+		t.Fatalf("stats = %+v; want the stale entry dropped", st)
+	}
+	// Relearning at the live epoch restores the route.
+	tb.Learn("01", nil, 4)
+	if _, ok := tb.Route(region("01"), 4); !ok {
+		t.Fatal("Route failed after relearning at the live epoch")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	tb := NewTable(2, k)
+	tb.Learn("0", nil, 1)
+	tb.Learn("1", nil, 1)
+	tb.Learn("0", nil, 1) // refresh: "1" is now the least recently used
+	tb.Learn("2", nil, 1)
+	if st := tb.Stats(); st.Evicted != 1 || st.Entries != 2 {
+		t.Fatalf("stats = %+v; want one eviction at capacity 2", st)
+	}
+	if _, ok := tb.Route(region("1"), 1); ok {
+		t.Fatal("evicted entry still routes")
+	}
+	if _, ok := tb.Route(region("0"), 1); !ok {
+		t.Fatal("refreshed entry was evicted instead of the LRU one")
+	}
+}
+
+func TestLongestPrefixWins(t *testing.T) {
+	// After a split the table can briefly hold both the old parent owner
+	// and a new child; the probe must prefer the more specific entry.
+	tb := NewTable(8, k)
+	tb.Learn("0", nil, 1)
+	tb.Learn("01", nil, 1)
+	targets, ok := tb.Route(region("01"), 1)
+	if !ok || len(targets) != 1 || targets[0].Owner != "01" {
+		t.Fatalf("Route = %v, %v; want the longest-prefix owner \"01\"", targets, ok)
+	}
+}
+
+func TestMaxTargetsBoundsFanOut(t *testing.T) {
+	// Full-length owners each own exactly one ID, so a span of
+	// MaxTargets+1 IDs needs too many entries and must miss.
+	ids := kautz.Enumerate(k)
+	if len(ids) <= MaxTargets+1 {
+		t.Fatalf("space too small: %d ids", len(ids))
+	}
+	tb := NewTable(len(ids), k)
+	for _, id := range ids {
+		tb.Learn(id, nil, 1)
+	}
+	wide := kautz.Region{Low: ids[0], High: ids[MaxTargets]}
+	if targets, ok := tb.Route(wide, 1); ok {
+		t.Fatalf("Route over %d owners succeeded (%d targets); want a miss past MaxTargets=%d",
+			MaxTargets+1, len(targets), MaxTargets)
+	}
+	exact := kautz.Region{Low: ids[0], High: ids[MaxTargets-1]}
+	if targets, ok := tb.Route(exact, 1); !ok || len(targets) != MaxTargets {
+		t.Fatalf("Route over exactly MaxTargets owners = %d targets, %v", len(targets), ok)
+	}
+}
+
+func TestLearnRejectsBadOwners(t *testing.T) {
+	tb := NewTable(8, k)
+	tb.Learn("", nil, 1)
+	tb.Learn("01010", nil, 1) // longer than k
+	if st := tb.Stats(); st.Entries != 0 {
+		t.Fatalf("bad owners entered the table: %+v", st)
+	}
+}

@@ -44,6 +44,9 @@ func (n *Network) initObs(cfg config) {
 	if n.fcache != nil {
 		n.fcache.DescribeMetrics(o.reg)
 	}
+	if n.stable != nil {
+		n.stable.DescribeMetrics(o.reg)
+	}
 	o.delayRatio = obs.NewHistogram(0.25, 0.5, 0.75, 0.9, 1, 1.25, 1.5, 2)
 	o.reg.MustRegister("query_delay_vs_bound", o.delayRatio)
 	o.reg.MustRegister("delay_bound_violations", &o.delayViol)
@@ -99,6 +102,8 @@ func (n *Network) traceFunc(sink func(Hop), qid uint64) core.TraceFunc {
 			ev = obs.EvReplicaRedirect
 		case core.HopSeed:
 			ev = obs.EvFrontierSeed
+		case core.HopShortcut:
+			ev = obs.EvShortcutSeed
 		}
 		rec.Record(obs.Event{Kind: ev, QID: qid, From: string(from), To: string(to), Depth: depth, Remaining: remaining})
 		if sink != nil {

@@ -20,6 +20,7 @@ type config struct {
 	async          bool
 	replicas       int
 	frontierCache  int
+	shortcutTable  int
 	flightRecorder int
 	loadControl    *LoadControlConfig
 }
@@ -124,6 +125,27 @@ func WithFrontierCache(capacity int) Option {
 			return fmt.Errorf("%w: frontier cache capacity %d < 1", errBadOption, capacity)
 		}
 		c.frontierCache = capacity
+		return nil
+	})
+}
+
+// WithShortcutTable attaches an issuer-side learned shortcut routing
+// table of the given capacity (in learned owner entries) to the network.
+// Every descent's delivery hops are learned passively — each region owner
+// reached and, when replicated, its group members — and a later lookup,
+// single-attribute range query or paged walk whose region the fresh
+// entries tile is routed in one direct hop per destination instead of a
+// ~log N descent (Stats.ShortcutHits = 1), with replica reads landing on
+// the issuer-chosen replica without a redirect message. Entries are
+// validated against the topology epoch and dropped on sight when stale,
+// so churn costs the saved descents, never correctness. The default is no
+// table.
+func WithShortcutTable(capacity int) Option {
+	return optionFunc(func(c *config) error {
+		if capacity < 1 {
+			return fmt.Errorf("%w: shortcut table capacity %d < 1", errBadOption, capacity)
+		}
+		c.shortcutTable = capacity
 		return nil
 	})
 }

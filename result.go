@@ -44,8 +44,11 @@ type Stats struct {
 	Deliveries int
 	// ReplicaServed counts deliveries served by a replica other than the
 	// region's owner — always 0 without replication or under ReadPrimary.
-	// Each redirect is included in Messages (and can extend Delay by one
-	// hop), so the paper's cost metrics stay honest under read spreading.
+	// On a descent each redirect is included in Messages (and can extend
+	// Delay by one hop), so the paper's cost metrics stay honest under
+	// read spreading; on a shortcut-routed query (ShortcutHits = 1) the
+	// issuer addresses the serving replica directly, so the redirect
+	// message is retired.
 	ReplicaServed int
 	// DescentsSaved is 1 when this query was seeded from a captured
 	// descent frontier — a session's own or the shared frontier cache's —
@@ -59,6 +62,12 @@ type Stats struct {
 	// shared cache (WithFrontierCache) — the subset of DescentsSaved that
 	// skipped even the first-page descent of its region.
 	FrontierHits int
+	// ShortcutHits is 1 when the query was routed by the learned shortcut
+	// table (WithShortcutTable): the issuer addressed every destination —
+	// the serving replica itself, under a read policy — directly, in one
+	// hop, with no descent and no redirect messages. DescentsSaved is
+	// also 1.
+	ShortcutHits int
 }
 
 // MesgRatio is Messages/DestPeers, the paper's per-destination message
@@ -120,6 +129,7 @@ func statsOf(s core.Stats) Stats {
 		Deliveries:    s.Deliveries,
 		ReplicaServed: s.ReplicaServed,
 		DescentsSaved: s.DescentsSaved,
+		ShortcutHits:  s.ShortcutHits,
 	}
 }
 

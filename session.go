@@ -50,11 +50,14 @@ type SessionStats struct {
 	Pages    int
 	Objects  int
 	Messages int
-	// DescentsSaved counts pages seeded from a frontier instead of
-	// descending; FrontierHits the subset whose frontier came from the
-	// network's shared cache rather than this session's own capture.
+	// DescentsSaved counts pages that skipped their descent — seeded from
+	// a frontier or routed by the shortcut table; FrontierHits is the
+	// subset whose frontier came from the network's shared cache rather
+	// than this session's own capture, ShortcutHits the subset the
+	// learned shortcut table routed (WithShortcutTable).
 	DescentsSaved int
 	FrontierHits  int
+	ShortcutHits  int
 }
 
 // OpenSession opens a query session for a paged range walk. q must be a
@@ -129,6 +132,7 @@ func (s *Session) Next(ctx context.Context) (*Result, error) {
 	s.stats.Messages += res.Stats.Messages
 	s.stats.DescentsSaved += res.Stats.DescentsSaved
 	s.stats.FrontierHits += res.Stats.FrontierHits
+	s.stats.ShortcutHits += res.Stats.ShortcutHits
 	if res.NextOffsetID == "" {
 		s.done = true
 	} else {
@@ -195,14 +199,25 @@ func (n *Network) runFrontierRange(ctx context.Context, issuer string, lo, hi []
 				cand, fr.fromCache = f, true
 			}
 		}
-		switch {
-		case cand != nil:
+		if cand != nil {
 			opts = append(opts, core.WithFrontier(cand))
-		case offsetID == "" || fr.wantCapture:
-			// A seeded query never captures; only request (and pay for)
-			// capture when the descent will run AND someone can use the
-			// result — the cache (cursor-free queries) or a session.
-			opts = append(opts, core.WithCaptureFrontier())
+		} else {
+			// No frontier covers this query; offer the learned shortcut
+			// table before resigning to a descent. Single-attribute only:
+			// a MIRA descent prunes destinations with the box subspace
+			// predicate, which a region tiling cannot express.
+			if n.stable != nil && n.tree.Attrs() == 1 {
+				if route, ok := n.shortcutRoute(clipped); ok {
+					opts = append(opts, core.WithShortcutRoute(route))
+				}
+			}
+			if offsetID == "" || fr.wantCapture {
+				// A seeded query never captures; only request (and pay
+				// for) capture when a descent may run AND someone can use
+				// the result — the cache (cursor-free queries) or a
+				// session.
+				opts = append(opts, core.WithCaptureFrontier())
+			}
 		}
 	}
 	res, err := n.eng.RangeQuery(ctx, kautz.Str(issuer), lo, hi, opts...)

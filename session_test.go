@@ -447,3 +447,67 @@ func TestOpenSessionValidation(t *testing.T) {
 		t.Errorf("Next after Close: err = %v, want ErrSessionDone", err)
 	}
 }
+
+// TestStreamReusesFrontierCache: streamed range queries participate in the
+// shared frontier cache on both sides — a stream's descent captures a
+// frontier for later queries, and a stream over an already-descended
+// region seeds from the cached frontier instead of walking the FRT again.
+func TestStreamReusesFrontierCache(t *testing.T) {
+	net, err := NewNetwork(250, WithSeed(11), WithFrontierCache(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	pubs := make([]Publication, 1000)
+	for i := range pubs {
+		pubs[i] = Publication{Name: fmt.Sprintf("obj-%05d", i), Values: []float64{rng.Float64() * 1000}}
+	}
+	if err := net.PublishBatch(pubs); err != nil {
+		t.Fatal(err)
+	}
+	q := NewRange([]Range{{Low: 300, High: 700}})
+
+	stream := func() map[string]Object {
+		t.Helper()
+		got := make(map[string]Object)
+		for o, err := range net.Stream(context.Background(), q) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			got[o.ID] = o
+		}
+		return got
+	}
+
+	// A cold stream descends and must capture its frontier into the cache.
+	first := stream()
+	seeded, err := net.Do(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seeded.Stats.FrontierHits != 1 || seeded.Stats.DescentsSaved != 1 {
+		t.Fatalf("Do after a stream descended fresh: %+v — stream did not capture", seeded.Stats)
+	}
+	if len(first) != len(seeded.Objects) {
+		t.Fatalf("stream yielded %d objects, Do %d", len(first), len(seeded.Objects))
+	}
+	for _, o := range seeded.Objects {
+		if _, ok := first[o.ID]; !ok {
+			t.Fatalf("stream missed %q", o.Name)
+		}
+	}
+
+	// A warm stream must seed from the cache rather than descend again.
+	before, _ := net.FrontierCacheStats()
+	second := stream()
+	after, ok := net.FrontierCacheStats()
+	if !ok {
+		t.Fatal("FrontierCacheStats not available on a cached network")
+	}
+	if after.Hits != before.Hits+1 {
+		t.Fatalf("warm stream did not hit the frontier cache: %+v -> %+v", before, after)
+	}
+	if !reflect.DeepEqual(second, first) {
+		t.Fatal("cache-seeded stream returned different objects")
+	}
+}

@@ -1,0 +1,158 @@
+package armada
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestShortcutByteIdentityUnderChurn is the shortcut table's end-to-end
+// property test: two identically-seeded networks — one with a shortcut
+// table, one without — are driven through the same interleaved sequence of
+// publishes, warm queries, joins, leaves, crash-stops, region auto-splits
+// and ownership migrations. Every query result must be byte-identical
+// between the two networks at every step: epoch invalidation means a
+// learned entry can go stale at any moment, and a stale shortcut may cost
+// a saved descent, never results. Both networks consume their internal
+// RNGs through mirrored calls only, so they stay in topological lockstep.
+func TestShortcutByteIdentityUnderChurn(t *testing.T) {
+	const size = 150
+	base, err := NewNetwork(size, WithSeed(61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := NewNetwork(size, WithSeed(61), WithShortcutTable(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	publish := func(name string, v float64) {
+		t.Helper()
+		if err := base.Publish(name, v); err != nil {
+			t.Fatal(err)
+		}
+		if err := fast.Publish(name, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// compare runs q on both networks (mirrored empty-issuer draws keep the
+	// RNGs in sync) and requires byte-identical results.
+	compare := func(what string, q Query) *Result {
+		t.Helper()
+		want, err1 := base.Do(ctx, q)
+		got, err2 := fast.Do(ctx, q)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s: base err %v, shortcut err %v", what, err1, err2)
+		}
+		if !reflect.DeepEqual(got.Objects, want.Objects) ||
+			got.NextOffsetID != want.NextOffsetID ||
+			got.Owner != want.Owner ||
+			!reflect.DeepEqual(got.Destinations, want.Destinations) {
+			t.Fatalf("%s: shortcut network diverged from baseline\nbase: %d objects, next %q\nfast: %d objects, next %q",
+				what, len(want.Objects), want.NextOffsetID, len(got.Objects), got.NextOffsetID)
+		}
+		return got
+	}
+	audit := func(when string) {
+		t.Helper()
+		if err := base.Audit(); err != nil {
+			t.Fatalf("base audit %s: %v", when, err)
+		}
+		if err := fast.Audit(); err != nil {
+			t.Fatalf("shortcut audit %s: %v", when, err)
+		}
+	}
+
+	// Warm ranges revisited every round — the traffic that populates the
+	// table and must survive every topology change in between.
+	warm := [][2]float64{{400, 460}, {430, 500}, {100, 180}, {700, 790}}
+	seq := 0
+	for i := 0; i < 300; i++ {
+		publish(fmt.Sprintf("seed-%03d", i), float64(i%100)*10+float64(i%7))
+	}
+
+	for round := 0; round < 6; round++ {
+		for i := 0; i < 40; i++ {
+			seq++
+			// Skew publishes toward the warm intervals so splits land there.
+			publish(fmt.Sprintf("hot-%04d", seq), 400+float64(seq%100))
+		}
+		for _, w := range warm {
+			compare(fmt.Sprintf("round %d range [%g,%g]", round, w[0], w[1]),
+				NewRange([]Range{{Low: w[0], High: w[1]}}))
+		}
+		res := compare(fmt.Sprintf("round %d lookup", round), NewLookup(fmt.Sprintf("hot-%04d", seq)))
+		hotOwner := ""
+		if len(res.Objects) > 0 {
+			hotOwner = res.Objects[0].Peer
+		}
+		// A paged walk over a warm region, page by page.
+		offset := ""
+		for page := 0; ; page++ {
+			opts := []QueryOption{WithLimit(25)}
+			if offset != "" {
+				opts = append(opts, WithOffsetID(offset))
+			}
+			pr := compare(fmt.Sprintf("round %d page %d", round, page),
+				NewRange([]Range{{Low: 380, High: 520}}, opts...))
+			if pr.NextOffsetID == "" {
+				break
+			}
+			offset = pr.NextOffsetID
+		}
+
+		// Mutate the topology between rounds, exercising every invalidation
+		// path the PR 6 controller can trigger. All errors must mirror.
+		mirror := func(what string, e1, e2 error) {
+			t.Helper()
+			if (e1 == nil) != (e2 == nil) {
+				t.Fatalf("round %d %s: base err %v, shortcut err %v", round, what, e1, e2)
+			}
+		}
+		switch round % 4 {
+		case 0: // join (mirrored RNG draws yield the same new peer)
+			id1, e1 := base.Join()
+			id2, e2 := fast.Join()
+			mirror("join", e1, e2)
+			if id1 != id2 {
+				t.Fatalf("round %d: networks fell out of lockstep: joined %q vs %q", round, id1, id2)
+			}
+		case 1: // auto-split the hot owner
+			if hotOwner != "" {
+				_, e1 := base.splitRegion(hotOwner)
+				_, e2 := fast.splitRegion(hotOwner)
+				mirror("split", e1, e2)
+			}
+		case 2: // migrate ownership: a cold donor leaves, the hot region splits
+			if hotOwner != "" {
+				donor := compare(fmt.Sprintf("round %d donor lookup", round),
+					NewLookup("seed-007")).Owner
+				if donor != "" && donor != hotOwner {
+					_, e1 := base.migrateOwnership(donor, hotOwner)
+					_, e2 := fast.migrateOwnership(donor, hotOwner)
+					mirror("migrate", e1, e2)
+				}
+			}
+		case 3: // crash-stop, then graceful leave (mirrored RandomPeer draws)
+			victim1, victim2 := base.RandomPeer(), fast.RandomPeer()
+			if victim1 != victim2 {
+				t.Fatalf("round %d: networks fell out of lockstep: victims %q vs %q", round, victim1, victim2)
+			}
+			mirror("fail", base.Fail(victim1), fast.Fail(victim2))
+		}
+		audit(fmt.Sprintf("after round %d", round))
+	}
+
+	st, ok := fast.ShortcutTableStats()
+	if !ok {
+		t.Fatal("shortcut network reports no table")
+	}
+	if st.Hits == 0 {
+		t.Fatalf("warm traffic never hit the shortcut table: %+v", st)
+	}
+	if st.Stale == 0 {
+		t.Fatalf("six rounds of churn never staled an entry: %+v", st)
+	}
+}

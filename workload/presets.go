@@ -42,6 +42,26 @@ var presets = []Scenario{
 		PageLimit: 512,
 	},
 	{
+		// Warm-key traffic the learned shortcut table exists for: heavily
+		// Zipf-skewed lookups and narrow bucketed ranges revisit the same
+		// few regions over and over, so after a brief learning phase most
+		// queries route in one direct hop per destination instead of a
+		// ~log N descent (shortcut.hit_rate near 1, hops mean ≤ 2). The
+		// 512-entry table comfortably learns the whole 500-peer ownership
+		// map. Rerun with -no-shortcut for the descent baseline — results
+		// are byte-identical, only hops and messages move.
+		Name:          "warm-keys",
+		Peers:         500,
+		Preload:       3000,
+		Ops:           5000,
+		Mix:           Mix{Publish: 5, Lookup: 45, Range: 45, RangePaged: 5},
+		Keys:          KeyDist{Kind: KeyZipf, ZipfS: 1.3},
+		RangeSize:     SizeDist{MinFrac: 0.001, MaxFrac: 0.01},
+		RangeBuckets:  256,
+		PageLimit:     256,
+		ShortcutTable: 512,
+	},
+	{
 		// Scan-dominated traffic over repeating hot ranges — the workload
 		// query sessions and the frontier cache exist for. Range bounds
 		// snap to a 64-bucket grid, so the zipf-hot scans repeat

@@ -47,6 +47,10 @@ type OpReport struct {
 	// walk's own session capture.
 	FrontierHits  int `json:"frontier_hits,omitempty"`
 	DescentsSaved int `json:"descents_saved,omitempty"`
+	// ShortcutHits counts queries (pages, for range-paged) the learned
+	// shortcut table routed in one direct hop per destination instead of a
+	// descent (Scenario.ShortcutTable).
+	ShortcutHits int `json:"shortcut_hits,omitempty"`
 	// Throughput is Count over the run's wall-clock duration.
 	Throughput float64 `json:"throughput_per_sec"`
 	// LatencyMs is the wall-clock service latency in milliseconds.
@@ -56,6 +60,11 @@ type OpReport struct {
 	HopDelay  Quantiles `json:"hop_delay"`
 	Messages  Quantiles `json:"messages"`
 	DestPeers Quantiles `json:"dest_peers"`
+	// Hops is the realized per-descent hop count — one sample per query,
+	// and one per page for range-paged walks (where HopDelay records the
+	// walk max instead). This is the metric the shortcut table moves: warm
+	// keys drop from ~log N toward 1.
+	Hops Quantiles `json:"hops"`
 	// Matches is the result-set size distribution (query kinds only; for
 	// range-paged operations, the total across the whole walk).
 	Matches Quantiles `json:"matches"`
@@ -83,6 +92,23 @@ type FrontierCacheReport struct {
 	Hits    int64   `json:"hits"`
 	Misses  int64   `json:"misses"`
 	Stale   int64   `json:"stale,omitempty"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+// ShortcutReport summarizes the learned shortcut routing table's activity
+// during one run (present only when the scenario enables the table).
+type ShortcutReport struct {
+	// Capacity is the configured entry bound; Entries the count at run
+	// end.
+	Capacity int `json:"capacity"`
+	Entries  int `json:"entries"`
+	// Hits and Misses count route attempts during the run; Stale counts
+	// learned entries dropped because churn moved the topology epoch past
+	// them; Evicted counts LRU evictions. HitRate is Hits/(Hits+Misses).
+	Hits    int64   `json:"hits"`
+	Misses  int64   `json:"misses"`
+	Stale   int64   `json:"stale,omitempty"`
+	Evicted int64   `json:"evicted,omitempty"`
 	HitRate float64 `json:"hit_rate"`
 }
 
@@ -209,9 +235,15 @@ type Report struct {
 	// and queries seeded from any frontier, session captures included.
 	FrontierHits  int `json:"frontier_hits,omitempty"`
 	DescentsSaved int `json:"descents_saved,omitempty"`
+	// ShortcutHits totals the per-op counters: queries the learned
+	// shortcut table routed directly, skipping their descent entirely.
+	ShortcutHits int `json:"shortcut_hits,omitempty"`
 	// FrontierCache summarizes the shared cache's run activity; absent
 	// when the scenario runs without one.
 	FrontierCache *FrontierCacheReport `json:"frontier_cache,omitempty"`
+	// Shortcut summarizes the learned shortcut table's run activity;
+	// absent when the scenario runs without one.
+	Shortcut *ShortcutReport `json:"shortcut,omitempty"`
 	// DeliverySkew summarizes the per-peer delivery balance of the run.
 	DeliverySkew *SkewReport `json:"delivery_skew,omitempty"`
 	// LoadControl counts the load controller's actions during the run;

@@ -48,6 +48,11 @@ func New(net *armada.Network, sc Scenario) (*Runner, error) {
 		return nil, fmt.Errorf("%w: scenario declares a frontier cache of %d, network has %d",
 			ErrBadScenario, sc.FrontierCache, cs.Capacity)
 	}
+	if ss, ok := net.ShortcutTableStats(); (sc.ShortcutTable > 0) != ok ||
+		(ok && ss.Capacity != sc.ShortcutTable) {
+		return nil, fmt.Errorf("%w: scenario declares a shortcut table of %d, network has %d",
+			ErrBadScenario, sc.ShortcutTable, ss.Capacity)
+	}
 	if _, ok := net.LoadReport(); ok != sc.LoadControl {
 		return nil, fmt.Errorf("%w: scenario load control %v, network load control %v",
 			ErrBadScenario, sc.LoadControl, ok)
@@ -105,6 +110,7 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 	startPeers := r.net.Size()
 	startReRepl := r.net.ReReplications()
 	startCache, trackCache := r.net.FrontierCacheStats()
+	startShort, trackShort := r.net.ShortcutTableStats()
 	startLC, trackLC := r.net.LoadReport()
 	startLoads := make(map[string]int64)
 	for _, pl := range r.net.PeerLoads() {
@@ -169,6 +175,21 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 			fc.HitRate = float64(fc.Hits) / float64(lookups)
 		}
 		rep.FrontierCache = fc
+	}
+	if trackShort {
+		end, _ := r.net.ShortcutTableStats()
+		st := &ShortcutReport{
+			Capacity: end.Capacity,
+			Entries:  end.Entries,
+			Hits:     end.Hits - startShort.Hits,
+			Misses:   end.Misses - startShort.Misses,
+			Stale:    end.Stale - startShort.Stale,
+			Evicted:  end.Evicted - startShort.Evicted,
+		}
+		if routes := st.Hits + st.Misses; routes > 0 {
+			st.HitRate = float64(st.Hits) / float64(routes)
+		}
+		rep.Shortcut = st
 	}
 	rep.DeliverySkew = deliverySkew(startLoads, r.net.PeerLoads())
 	if trackLC {
@@ -406,11 +427,13 @@ func (r *Runner) doPagedRange(ctx context.Context, smp *sampler, oc *opCollector
 	}
 
 	var (
-		offset                       string
-		matches, delay, msgs         int
-		deliveries, replicaServed    int
-		frontierHits, descentsSaved  int
-		pageSizes, pageDests, pageMs []int // flushed only when the whole walk succeeds
+		offset                      string
+		matches, delay, msgs        int
+		deliveries, replicaServed   int
+		frontierHits, descentsSaved int
+		shortcutHits                int
+		// flushed only when the whole walk succeeds
+		pageSizes, pageDests, pageMs, pageHops []int
 	)
 	for {
 		res, err := fetch(offset)
@@ -433,9 +456,11 @@ func (r *Runner) doPagedRange(ctx context.Context, smp *sampler, oc *opCollector
 		replicaServed += res.Stats.ReplicaServed
 		frontierHits += res.Stats.FrontierHits
 		descentsSaved += res.Stats.DescentsSaved
+		shortcutHits += res.Stats.ShortcutHits
 		pageSizes = append(pageSizes, len(res.Objects))
 		pageDests = append(pageDests, res.Stats.DestPeers) // per page: the fan-out each page pays
 		pageMs = append(pageMs, res.Stats.Messages)        // per page: what reaching it cost
+		pageHops = append(pageHops, res.Stats.Delay)       // per page: its realized descent depth
 		if res.NextOffsetID == "" {
 			break
 		}
@@ -450,9 +475,11 @@ func (r *Runner) doPagedRange(ctx context.Context, smp *sampler, oc *opCollector
 		oc.perPage.AddInt(pageSizes[i])
 		oc.dest.AddInt(pageDests[i])
 		oc.perPageMsgs.AddInt(pageMs[i])
+		oc.hops.AddInt(pageHops[i])
 	}
 	oc.frontierHits.Add(int64(frontierHits))
 	oc.descentsSaved.Add(int64(descentsSaved))
+	oc.shortcutHits.Add(int64(shortcutHits))
 	coll.noteReadSpread(deliveries, replicaServed)
 }
 
@@ -480,11 +507,13 @@ func (r *Runner) doQuery(ctx context.Context, q armada.Query, oc *opCollector, c
 		return nil
 	}
 	oc.delay.AddInt(res.Stats.Delay)
+	oc.hops.AddInt(res.Stats.Delay)
 	oc.msgs.AddInt(res.Stats.Messages)
 	oc.dest.AddInt(res.Stats.DestPeers)
 	oc.matches.AddInt(len(res.Objects))
 	oc.frontierHits.Add(int64(res.Stats.FrontierHits))
 	oc.descentsSaved.Add(int64(res.Stats.DescentsSaved))
+	oc.shortcutHits.Add(int64(res.Stats.ShortcutHits))
 	coll.noteReadSpread(res.Stats.Deliveries, res.Stats.ReplicaServed)
 	return res
 }
@@ -608,8 +637,10 @@ func (r *Runner) report(elapsed time.Duration, startPeers int, coll *collector) 
 			Cancelled:       cancelled,
 			FrontierHits:    int(oc.frontierHits.Load()),
 			DescentsSaved:   int(oc.descentsSaved.Load()),
+			ShortcutHits:    int(oc.shortcutHits.Load()),
 			LatencyMs:       quantilesOf(oc.lat.Snapshot()),
 			HopDelay:        quantilesOf(oc.delay.Snapshot()),
+			Hops:            quantilesOf(oc.hops.Snapshot()),
 			Messages:        quantilesOf(oc.msgs.Snapshot()),
 			DestPeers:       quantilesOf(oc.dest.Snapshot()),
 			Matches:         quantilesOf(oc.matches.Snapshot()),
@@ -627,6 +658,7 @@ func (r *Runner) report(elapsed time.Duration, startPeers int, coll *collector) 
 		rep.AvailabilityMisses += op.Misses
 		rep.FrontierHits += op.FrontierHits
 		rep.DescentsSaved += op.DescentsSaved
+		rep.ShortcutHits += op.ShortcutHits
 	}
 	if secs > 0 {
 		rep.Throughput = float64(rep.TotalOps) / secs
@@ -643,9 +675,11 @@ type opCollector struct {
 
 	// Frontier reuse: queries seeded from a captured descent frontier
 	// (descentsSaved) and the subset seeded from the shared cache
-	// (frontierHits).
+	// (frontierHits); shortcutHits counts queries the learned shortcut
+	// table routed directly.
 	frontierHits  atomic.Int64
 	descentsSaved atomic.Int64
+	shortcutHits  atomic.Int64
 
 	// interval points at the run collector's shared interval-latency
 	// sample; record feeds it alongside lat so snapshots can report
@@ -653,7 +687,8 @@ type opCollector struct {
 	interval *stats.SafeSample
 
 	lat         stats.SafeSample // wall-clock service time, ms
-	delay       stats.SafeSample // hop delay (query kinds)
+	delay       stats.SafeSample // hop delay (query kinds; walk max for range-paged)
+	hops        stats.SafeSample // per-descent hop count (query kinds; per page for range-paged)
 	msgs        stats.SafeSample // overlay messages (query kinds)
 	dest        stats.SafeSample // destination peers (query kinds; per page for range-paged)
 	matches     stats.SafeSample // result-set size (query kinds; whole walk for range-paged)

@@ -239,6 +239,13 @@ type Scenario struct {
 	// exists for — instead of the continuous never-repeating bounds the
 	// samplers otherwise draw. Default 0 — continuous bounds.
 	RangeBuckets int `json:"range_buckets,omitempty"`
+	// ShortcutTable, when positive, builds the network with an issuer-side
+	// learned shortcut routing table of that capacity
+	// (armada.WithShortcutTable): lookups and single-attribute range
+	// queries over regions the learned entries tile route in one direct
+	// hop per destination instead of a ~log N descent, reported as
+	// shortcut_hits and the report's shortcut block. Default 0 — no table.
+	ShortcutTable int `json:"shortcut_table,omitempty"`
 	// LoadControl builds the network with the adaptive load controller
 	// (armada.WithLoadControl): hot regions auto-split under sustained
 	// delivery load and, at the growth cap, ownership migrates from cold
@@ -354,6 +361,9 @@ func (s Scenario) NetworkOptions() []armada.Option {
 	if s.FrontierCache > 0 {
 		opts = append(opts, armada.WithFrontierCache(s.FrontierCache))
 	}
+	if s.ShortcutTable > 0 {
+		opts = append(opts, armada.WithShortcutTable(s.ShortcutTable))
+	}
 	if s.LoadControl {
 		opts = append(opts, armada.WithLoadControl(armada.LoadControlConfig{
 			SplitThreshold: s.SplitThreshold,
@@ -430,6 +440,9 @@ func (s Scenario) validate() error {
 	}
 	if s.RangeBuckets < 0 {
 		return bad("negative range buckets %d", s.RangeBuckets)
+	}
+	if s.ShortcutTable < 0 {
+		return bad("negative shortcut table capacity %d", s.ShortcutTable)
 	}
 	if s.SplitThreshold < 0 {
 		return bad("negative split threshold %v", s.SplitThreshold)

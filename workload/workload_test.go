@@ -25,8 +25,8 @@ func small() Scenario {
 
 func TestPresetsValid(t *testing.T) {
 	ps := Presets()
-	if len(ps) != 8 {
-		t.Fatalf("presets = %d, want 8", len(ps))
+	if len(ps) != 9 {
+		t.Fatalf("presets = %d, want 9", len(ps))
 	}
 	for _, p := range ps {
 		sc := p.withDefaults()
