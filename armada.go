@@ -120,49 +120,7 @@ func NewNetwork(peers int, opts ...Option) (*Network, error) {
 	if err != nil {
 		return nil, fmt.Errorf("armada: build network: %w", err)
 	}
-	spaces := make([]naming.Space, len(cfg.attrs))
-	for i, a := range cfg.attrs {
-		spaces[i] = naming.Space{Low: a.Low, High: a.High}
-	}
-	tree, err := naming.NewTree(cfg.k, spaces...)
-	if err != nil {
-		return nil, fmt.Errorf("armada: naming tree: %w", err)
-	}
-	if cfg.replicas > 1 {
-		if err := net.SetReplicas(cfg.replicas); err != nil {
-			return nil, fmt.Errorf("armada: replication: %w", err)
-		}
-	}
-	eng, err := core.New(net, tree)
-	if err != nil {
-		return nil, err
-	}
-	mode := core.Sync
-	if cfg.async {
-		mode = core.Async
-	}
-	var fcache *session.Cache
-	if cfg.frontierCache > 0 {
-		fcache = session.NewCache(cfg.frontierCache)
-	}
-	var stable *shortcut.Table
-	if cfg.shortcutTable > 0 {
-		stable = shortcut.NewTable(cfg.shortcutTable, cfg.k)
-	}
-	nw := &Network{
-		net:    net,
-		tree:   tree,
-		eng:    eng,
-		mode:   mode,
-		fcache: fcache,
-		stable: stable,
-		rng:    rand.New(rand.NewSource(cfg.seed + 1)),
-	}
-	nw.initObs(cfg)
-	if cfg.loadControl != nil {
-		nw.startLoadControl(*cfg.loadControl, peers)
-	}
-	return nw, nil
+	return assemble(net, cfg)
 }
 
 // Size returns the number of peers.
@@ -900,6 +858,17 @@ func (n *Network) Audit() error {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
 	return n.net.Audit()
+}
+
+// AuditSampled verifies the overlay's structural invariants on a
+// deterministic evenly-spaced sample of roughly the given number of peers
+// — the namespace cover is still checked in full — so post-run
+// verification stays feasible at 100k peers. A sample of zero or at least
+// the network size runs the full Audit.
+func (n *Network) AuditSampled(sample int) error {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.net.AuditSampled(sample)
 }
 
 // readPolicy resolves a query's read policy against the network's

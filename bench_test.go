@@ -6,6 +6,7 @@
 package armada_test
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"math/rand"
@@ -413,6 +414,141 @@ func BenchmarkExperimentPoint(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.RangeSizeFigures(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Allocation profiles -------------------------------------------------
+//
+// The benchmarks below pin the per-operation allocation behaviour of the
+// hot data-plane paths (run with `go test -bench=Alloc -benchmem`), plus
+// the two network bring-up paths the 100k-peer runs depend on: batch
+// construction and warm-start snapshot loading.
+
+// buildAllocNet builds a public-API network preloaded with the given
+// number of single-attribute objects.
+func buildAllocNet(b *testing.B, peers, preload int) *armada.Network {
+	b.Helper()
+	net, err := armada.NewNetwork(peers, armada.WithSeed(111))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pubs := make([]armada.Publication, preload)
+	for i := range pubs {
+		pubs[i] = armada.Publication{Name: fmt.Sprintf("o%d", i), Values: []float64{float64(i % 1000)}}
+	}
+	if err := net.PublishBatch(pubs); err != nil {
+		b.Fatal(err)
+	}
+	return net
+}
+
+// BenchmarkAllocPublish measures one publish: naming hash, owner descent,
+// replica fan-out, store insert.
+func BenchmarkAllocPublish(b *testing.B) {
+	net := buildAllocNet(b, 1000, 0)
+	defer net.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := net.Publish(fmt.Sprintf("p%d", i), float64(i%1000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAllocLookup measures one exact-match query end to end.
+func BenchmarkAllocLookup(b *testing.B) {
+	net := buildAllocNet(b, 1000, 2000)
+	defer net.Close()
+	rng := rand.New(rand.NewSource(112))
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := armada.NewLookup(fmt.Sprintf("o%d", rng.Intn(2000)))
+		if _, err := net.Do(ctx, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAllocRange measures one materializing range query end to end.
+func BenchmarkAllocRange(b *testing.B) {
+	net := buildAllocNet(b, 1000, 2000)
+	defer net.Close()
+	rng := rand.New(rand.NewSource(113))
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := rng.Float64() * 950
+		q := armada.NewRange([]armada.Range{{Low: lo, High: lo + 20}})
+		if _, err := net.Do(ctx, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAllocRangePaged measures one whole paginated walk through a
+// query session (page 1 descends and captures the frontier; later pages
+// seed directly).
+func BenchmarkAllocRangePaged(b *testing.B) {
+	net := buildAllocNet(b, 1000, 2000)
+	defer net.Close()
+	rng := rand.New(rand.NewSource(114))
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := rng.Float64() * 900
+		sess, err := net.OpenSession(armada.NewRange([]armada.Range{{Low: lo, High: lo + 50}}, armada.WithLimit(32)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			res, err := sess.Next(ctx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.NextOffsetID == "" {
+				break
+			}
+		}
+		sess.Close()
+	}
+}
+
+// BenchmarkBatchBuild10k measures the deterministic batch construction of
+// a 10k-peer overlay — the cold-start path (bytes/op here is the
+// transient build cost, not the resident footprint).
+func BenchmarkBatchBuild10k(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := fissione.BuildRandom(benchK, 10_000, 7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotLoad10k measures restoring the same 10k-peer overlay
+// from a warm-start snapshot — the path that must beat the cold build by
+// at least 5x.
+func BenchmarkSnapshotLoad10k(b *testing.B) {
+	net, err := fissione.BuildRandom(benchK, 10_000, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := net.WriteSnapshot(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fissione.LoadSnapshot(bytes.NewReader(data)); err != nil {
 			b.Fatal(err)
 		}
 	}

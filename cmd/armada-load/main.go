@@ -45,6 +45,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"text/tabwriter"
+	"time"
 
 	"armada"
 	"armada/workload"
@@ -117,6 +118,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		traceOut  = fs.String("trace-out", "", "write the flight recorder's events as Chrome trace-event JSON to this file after the run (implies -flight-recorder 65536 when unset)")
 		metricsAd = fs.String("metrics-addr", "", "serve live metrics over HTTP on this address: Prometheus text at /metrics, expvar at /debug/vars")
 		pprofAd   = fs.String("pprof-addr", "", "serve net/http/pprof on this address (/debug/pprof/)")
+		snapOut   = fs.String("snapshot-out", "", "after building the network, save its topology snapshot to this file (see -snapshot-in)")
+		snapIn    = fs.String("snapshot-in", "", "warm-start: restore the network from this snapshot file instead of building it (scenario options still apply; the snapshot fixes size, seed and topology)")
+		snapVer   = fs.Bool("snapshot-verify", false, "with -snapshot-in: also build the same network cold and verify the loaded one matches it (topology fingerprint and spot-check query identity)")
+		auditSmp  = fs.Int("audit-sample", 0, "post-run audit: structurally check only ~this many evenly-spaced peers instead of all (0 = full audit; the namespace cover is always checked in full)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -287,15 +292,50 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if *worstOf < 1 {
 		return fmt.Errorf("-worst-of %d: must be at least 1", *worstOf)
 	}
+	if *auditSmp < 0 {
+		return fmt.Errorf("-audit-sample %d: must be at least 0", *auditSmp)
+	}
+	if *snapVer && *snapIn == "" {
+		return fmt.Errorf("-snapshot-verify requires -snapshot-in")
+	}
 
 	runOnce := func() (*workload.Report, error) {
-		fmt.Fprintf(stderr, "armada-load: scenario %q — building %d peers (replicas %d, frontier cache %d, shortcut table %d), preloading %d objects\n",
-			sc.Name, sc.Peers, sc.Replicas, sc.FrontierCache, sc.ShortcutTable, sc.Preload)
-		net, err := armada.NewNetwork(sc.Peers, sc.NetworkOptions()...)
+		var (
+			net             *armada.Network
+			err             error
+			buildMs, loadMs float64
+		)
+		if *snapIn != "" {
+			fmt.Fprintf(stderr, "armada-load: scenario %q — warm-starting from snapshot %s (replicas %d, frontier cache %d, shortcut table %d), preloading %d objects\n",
+				sc.Name, *snapIn, sc.Replicas, sc.FrontierCache, sc.ShortcutTable, sc.Preload)
+			start := time.Now()
+			net, err = loadSnapshotFile(*snapIn, sc.NetworkOptions()...)
+			loadMs = float64(time.Since(start)) / float64(time.Millisecond)
+		} else {
+			fmt.Fprintf(stderr, "armada-load: scenario %q — building %d peers (replicas %d, frontier cache %d, shortcut table %d), preloading %d objects\n",
+				sc.Name, sc.Peers, sc.Replicas, sc.FrontierCache, sc.ShortcutTable, sc.Preload)
+			start := time.Now()
+			net, err = armada.NewNetwork(sc.Peers, sc.NetworkOptions()...)
+			buildMs = float64(time.Since(start)) / float64(time.Millisecond)
+		}
 		if err != nil {
 			return nil, err
 		}
 		defer net.Close()
+		if *snapOut != "" {
+			if err := saveSnapshotFile(net, *snapOut); err != nil {
+				return nil, fmt.Errorf("snapshot save: %w", err)
+			}
+			fmt.Fprintf(stderr, "armada-load: wrote topology snapshot to %s\n", *snapOut)
+		}
+		if *snapVer {
+			start := time.Now()
+			if err := verifyWarmStart(ctx, net, sc); err != nil {
+				return nil, fmt.Errorf("snapshot verify: %w", err)
+			}
+			fmt.Fprintf(stderr, "armada-load: warm-start verified against a cold build in %.0fms (load took %.0fms)\n",
+				float64(time.Since(start))/float64(time.Millisecond), loadMs)
+		}
 		liveNet.Store(net)
 		defer liveNet.Store(nil)
 		if *traceOut != "" {
@@ -313,6 +353,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return nil, err
 		}
+		runner.BuildMs = buildMs
+		runner.SnapshotLoadMs = loadMs
 		if *verbose {
 			runner.OnSnapshot = func(s workload.Snapshot) {
 				fmt.Fprintf(stderr, "  t=%6.2fs  ops=%-6d errs=%-3d peers=%-5d %8.0f op/s\n",
@@ -325,8 +367,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		}
 		// Whatever the run did to the overlay — churn storms included —
 		// every structural invariant must still hold (including replica-set
-		// consistency on replicated networks).
-		if err := net.Audit(); err != nil {
+		// consistency on replicated networks). At scale, -audit-sample
+		// checks a deterministic subset of peers instead of every one.
+		if err := net.AuditSampled(*auditSmp); err != nil {
 			return nil, fmt.Errorf("post-run audit: %w", err)
 		}
 		return rep, nil
@@ -409,6 +452,60 @@ func startHTTP(metricsAddr, pprofAddr string, stderr io.Writer) error {
 	}
 	if pprofAddr != "" {
 		serve(pprofAddr, nil, "pprof") // net/http/pprof registered on the default mux
+	}
+	return nil
+}
+
+// saveSnapshotFile writes the network's topology snapshot to path.
+func saveSnapshotFile(net *armada.Network, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := net.SaveSnapshot(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// loadSnapshotFile restores a network from the snapshot at path, applying
+// the scenario's network options on top.
+func loadSnapshotFile(path string, opts ...armada.Option) (*armada.Network, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return armada.LoadSnapshot(f, opts...)
+}
+
+// verifyWarmStart builds the scenario's network cold and checks the
+// warm-started one against it: identical topology fingerprint, and
+// byte-identical routing behaviour on a handful of spot-check lookups
+// (same issuers, same probe keys — owner, served peer and full cost stats
+// must match).
+func verifyWarmStart(ctx context.Context, warm *armada.Network, sc workload.Scenario) error {
+	cold, err := armada.NewNetwork(sc.Peers, sc.NetworkOptions()...)
+	if err != nil {
+		return fmt.Errorf("cold build: %w", err)
+	}
+	defer cold.Close()
+	if w, c := warm.TopologyFingerprint(), cold.TopologyFingerprint(); w != c {
+		return fmt.Errorf("topology fingerprint mismatch: warm %016x, cold %016x", w, c)
+	}
+	ids := cold.PeerIDs()
+	for i := 0; i < 8; i++ {
+		issuer := ids[i*len(ids)/8]
+		q := armada.NewLookup(fmt.Sprintf("verify-probe-%d", i), armada.WithIssuer(issuer))
+		rw, err1 := warm.Do(ctx, q)
+		rc, err2 := cold.Do(ctx, q)
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("spot-check query %d: warm %v, cold %v", i, err1, err2)
+		}
+		if rw.Stats != rc.Stats {
+			return fmt.Errorf("spot-check query %d: stats diverge: warm %+v, cold %+v", i, rw.Stats, rc.Stats)
+		}
 	}
 	return nil
 }

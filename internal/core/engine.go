@@ -26,7 +26,6 @@ import (
 	"fmt"
 	"math"
 	"slices"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -617,7 +616,7 @@ func (e *Engine) step(state *queryState, m simnet.Message) []simnet.Message {
 		e.deliver(state, peer, qm.region, m.Depth)
 		return nil
 	}
-	var fwd []simnet.Message
+	fwd := make([]simnet.Message, 0, len(peer.Out()))
 	for _, c := range peer.Out() {
 		ep := c.Drop(qm.h - 1) // the child's eventual prefix at the destination level
 		if !qm.region.ContainsPrefix(ep) {
@@ -802,8 +801,10 @@ func (state *queryState) result(metrics simnet.Metrics, subregions int) *RangeRe
 	state.mu.Lock()
 	defer state.mu.Unlock()
 
-	dests := append([]kautz.Str(nil), state.dests...)
-	sort.Slice(dests, func(i, j int) bool { return dests[i] < dests[j] })
+	// The state is dropped after assembly, so dests can be sorted and
+	// deduplicated in place instead of copied.
+	dests := state.dests
+	slices.Sort(dests)
 	unique := dests[:0]
 	for i, d := range dests {
 		if i == 0 || d != dests[i-1] {

@@ -39,7 +39,7 @@ func (n *Network) IDLengths() IDLengthStats {
 func (n *Network) AvgOutDegree() float64 {
 	total := 0
 	for _, id := range n.ids {
-		total += len(n.peers[id].out)
+		total += n.peers[id].Degree()
 	}
 	return float64(total) / float64(len(n.ids))
 }
@@ -49,7 +49,7 @@ func (n *Network) AvgDegree() float64 {
 	total := 0
 	for _, id := range n.ids {
 		p := n.peers[id]
-		total += len(p.out) + len(p.in)
+		total += len(p.nbr)
 	}
 	return float64(total) / float64(len(n.ids))
 }
@@ -89,12 +89,20 @@ func (n *Network) CheckCover() error {
 // lengths of any pair of neighboring peers differ by at most one.
 func (n *Network) CheckInvariant() error {
 	for _, id := range n.ids {
-		p := n.peers[id]
-		for _, lists := range [2][]kautz.Str{p.out, p.in} {
-			for _, nb := range lists {
-				if d := len(id) - len(nb); d > 1 || d < -1 {
-					return fmt.Errorf("fissione: neighborhood invariant violated: |%q|-|%q| = %d", id, nb, d)
-				}
+		if err := n.checkPeerInvariant(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkPeerInvariant verifies the neighborhood invariant at one peer.
+func (n *Network) checkPeerInvariant(id kautz.Str) error {
+	p := n.peers[id]
+	for _, lists := range [2][]kautz.Str{p.Out(), p.In()} {
+		for _, nb := range lists {
+			if d := len(id) - len(nb); d > 1 || d < -1 {
+				return fmt.Errorf("fissione: neighborhood invariant violated: |%q|-|%q| = %d", id, nb, d)
 			}
 		}
 	}
@@ -105,21 +113,30 @@ func (n *Network) CheckInvariant() error {
 // tables derived from the current cover, and that in/out lists are duals.
 func (n *Network) CheckTables() error {
 	for _, id := range n.ids {
-		p := n.peers[id]
-		if !equalIDs(p.out, n.computeOut(id)) {
-			return fmt.Errorf("fissione: stale out-table at %q: have %v, want %v", id, p.out, n.computeOut(id))
+		if err := n.checkPeerTables(id); err != nil {
+			return err
 		}
-		if !equalIDs(p.in, n.computeIn(id)) {
-			return fmt.Errorf("fissione: stale in-table at %q: have %v, want %v", id, p.in, n.computeIn(id))
+	}
+	return nil
+}
+
+// checkPeerTables verifies one peer's stored routing table against the
+// derived one and the in/out duality of its out-edges.
+func (n *Network) checkPeerTables(id kautz.Str) error {
+	p := n.peers[id]
+	if !equalIDs(p.Out(), n.computeOut(id)) {
+		return fmt.Errorf("fissione: stale out-table at %q: have %v, want %v", id, p.Out(), n.computeOut(id))
+	}
+	if !equalIDs(p.In(), n.computeIn(id)) {
+		return fmt.Errorf("fissione: stale in-table at %q: have %v, want %v", id, p.In(), n.computeIn(id))
+	}
+	for _, nb := range p.Out() {
+		q, ok := n.peers[nb]
+		if !ok {
+			return fmt.Errorf("fissione: %q lists missing out-neighbor %q", id, nb)
 		}
-		for _, nb := range p.out {
-			q, ok := n.peers[nb]
-			if !ok {
-				return fmt.Errorf("fissione: %q lists missing out-neighbor %q", id, nb)
-			}
-			if !containsID(q.in, id) {
-				return fmt.Errorf("fissione: %q -> %q edge not mirrored in in-table", id, nb)
-			}
+		if !containsID(q.In(), id) {
+			return fmt.Errorf("fissione: %q -> %q edge not mirrored in in-table", id, nb)
 		}
 	}
 	return nil
@@ -139,6 +156,41 @@ func (n *Network) Audit() error {
 	}
 	if n.replicas > 1 {
 		return n.CheckReplicas()
+	}
+	return nil
+}
+
+// AuditSampled runs the structural checks on a deterministic evenly-spaced
+// sample of roughly the given number of peers instead of all of them. The
+// cover check still runs in full — it is a single O(N) pass and global by
+// nature — while the per-peer invariant, table and replica checks are
+// sampled. A sample of zero or at least the network size degenerates to
+// the full Audit. The sample is deterministic (every ceil(N/sample)-th
+// identifier in sorted order), so repeated audits of an unchanged network
+// check the same peers.
+func (n *Network) AuditSampled(sample int) error {
+	if sample <= 0 || sample >= len(n.ids) {
+		return n.Audit()
+	}
+	if err := n.CheckCover(); err != nil {
+		return err
+	}
+	stride := (len(n.ids) + sample - 1) / sample
+	for i := 0; i < len(n.ids); i += stride {
+		id := n.ids[i]
+		if err := n.checkPeerInvariant(id); err != nil {
+			return err
+		}
+		if err := n.checkPeerTables(id); err != nil {
+			return err
+		}
+	}
+	if n.replicas > 1 {
+		for i := 0; i < len(n.ids); i += stride {
+			if err := n.checkReplicaRegion(n.ids[i]); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }

@@ -72,7 +72,7 @@ func (n *Network) splitShorterNeighbors(id kautz.Str, budget *int) error {
 func (n *Network) shorterNeighbor(id kautz.Str) (kautz.Str, bool) {
 	p := n.peers[id]
 	best := id
-	for _, lists := range [2][]kautz.Str{p.out, p.in} {
+	for _, lists := range [2][]kautz.Str{p.Out(), p.In()} {
 		for _, nb := range lists {
 			if len(nb) < len(best) || (len(nb) == len(best) && nb < best) {
 				best = nb

@@ -35,6 +35,8 @@ type Network struct {
 	peers    map[kautz.Str]*Peer
 	ids      []kautz.Str // sorted; kept in sync with peers
 	rng      *rand.Rand
+	seed     int64       // rng seed; snapshots embed it to replay draws
+	joins    uint64      // random joins performed (rng draws to replay on load)
 	replicas int         // replication degree; 1 = single-owner
 	reRepl   obs.Counter // objects copied by churn repair
 	repairs  obs.Counter // regions whose replica set repair actually rebuilt
@@ -70,6 +72,7 @@ func New(k int, seed int64) (*Network, error) {
 		k:        k,
 		peers:    make(map[kautz.Str]*Peer, 3),
 		rng:      rand.New(rand.NewSource(seed)),
+		seed:     seed,
 		replicas: 1,
 	}
 	for _, id := range []kautz.Str{"0", "1", "2"} {
@@ -84,13 +87,15 @@ func New(k int, seed int64) (*Network, error) {
 
 // BuildRandom creates a network of size peers grown by random joins (each
 // join hashes to a random namespace position and splits the local
-// length-minimum peer there, as FISSIONE joins do).
+// length-minimum peer there, as FISSIONE joins do). It grows through the
+// batch-construction path (see GrowBatch), which is byte-identical to
+// sequential joins with the same seed.
 func BuildRandom(k, size int, seed int64) (*Network, error) {
 	n, err := New(k, seed)
 	if err != nil {
 		return nil, err
 	}
-	if err := n.Grow(size - n.Size()); err != nil {
+	if err := n.GrowBatch(size - n.Size()); err != nil {
 		return nil, err
 	}
 	return n, nil
@@ -161,6 +166,7 @@ func (n *Network) Grow(count int) error {
 // the newly created peer.
 func (n *Network) Join() (kautz.Str, error) {
 	target := kautz.Random(n.rng, n.k)
+	n.joins++
 	owner, err := n.OwnerOf(target)
 	if err != nil {
 		return "", err
@@ -179,7 +185,7 @@ func (n *Network) walkToLocalMin(start kautz.Str) kautz.Str {
 	for {
 		p := n.peers[cur]
 		best := cur
-		for _, lists := range [2][]kautz.Str{p.out, p.in} {
+		for _, lists := range [2][]kautz.Str{p.Out(), p.In()} {
 			for _, nb := range lists {
 				if len(nb) < len(best) || (len(nb) == len(best) && nb < best) {
 					best = nb
@@ -361,7 +367,7 @@ func (n *Network) mergeSafe(a, b kautz.Str) bool {
 	l := len(a)
 	for _, id := range []kautz.Str{a, b} {
 		p := n.peers[id]
-		for _, lists := range [2][]kautz.Str{p.out, p.in} {
+		for _, lists := range [2][]kautz.Str{p.Out(), p.In()} {
 			for _, nb := range lists {
 				if len(nb) > l {
 					return false
@@ -523,11 +529,34 @@ func (n *Network) computeIn(id kautz.Str) []kautz.Str {
 	return in
 }
 
-// refreshTables recomputes the routing table of peer id.
+// canon returns the canonical interned copy of a peer identifier: the id
+// string owned by the peer itself. Routing tables and the identifier index
+// alias that one backing array instead of keeping the per-entry copies
+// table derivation builds, so each identifier's bytes live on the heap
+// exactly once no matter how many neighbor lists mention it.
+func (n *Network) canon(id kautz.Str) kautz.Str {
+	if p, ok := n.peers[id]; ok {
+		return p.id
+	}
+	return id
+}
+
+// refreshTables recomputes the routing table of peer id. Both lists are
+// packed into one backing array of interned identifiers — a peer's whole
+// routing state is a single allocation aliasing its neighbors' own id
+// strings.
 func (n *Network) refreshTables(id kautz.Str) {
 	p := n.peers[id]
-	p.out = n.computeOut(id)
-	p.in = n.computeIn(id)
+	out := n.computeOut(id)
+	in := n.computeIn(id)
+	nbr := make([]kautz.Str, len(out)+len(in))
+	for i, o := range out {
+		nbr[i] = n.canon(o)
+	}
+	for i, o := range in {
+		nbr[len(out)+i] = n.canon(o)
+	}
+	p.setTables(nbr, len(out))
 }
 
 // refreshAll recomputes routing tables for every identifier in set that
@@ -543,12 +572,9 @@ func (n *Network) refreshAll(set map[kautz.Str]struct{}) {
 // neighborSet collects a peer's current neighbors (both directions) as a
 // set, seeded with the peer itself.
 func neighborSet(p *Peer) map[kautz.Str]struct{} {
-	set := make(map[kautz.Str]struct{}, len(p.out)+len(p.in)+1)
+	set := make(map[kautz.Str]struct{}, len(p.nbr)+1)
 	set[p.id] = struct{}{}
-	for _, id := range p.out {
-		set[id] = struct{}{}
-	}
-	for _, id := range p.in {
+	for _, id := range p.nbr {
 		set[id] = struct{}{}
 	}
 	return set

@@ -68,9 +68,13 @@ type Object struct {
 // identical regardless of insertion interleaving, which is what lets a
 // replica set be compared byte for byte.
 type Peer struct {
-	id  kautz.Str
-	out []kautz.Str
-	in  []kautz.Str
+	id kautz.Str
+
+	// nbr packs both neighbor lists — out-neighbors then in-neighbors —
+	// into one backing array of interned identifiers: a peer's whole
+	// routing table is a single allocation, and outLen marks the split.
+	nbr    []kautz.Str
+	outLen int32
 
 	// served counts region scans this peer has answered as the serving
 	// member of a replica group — the load signal of the least-loaded read
@@ -100,20 +104,27 @@ func (p *Peer) ID() kautz.Str { return p.id }
 
 // Out returns the peer's out-neighbor identifiers in ascending order. The
 // slice is owned by the peer and must not be modified.
-func (p *Peer) Out() []kautz.Str { return p.out }
+func (p *Peer) Out() []kautz.Str { return p.nbr[:p.outLen:p.outLen] }
 
 // In returns the peer's in-neighbor identifiers in ascending order. The
 // slice is owned by the peer and must not be modified.
-func (p *Peer) In() []kautz.Str { return p.in }
+func (p *Peer) In() []kautz.Str { return p.nbr[p.outLen:] }
 
 // OutCopy returns a copy of the out-neighbor list.
-func (p *Peer) OutCopy() []kautz.Str { return append([]kautz.Str(nil), p.out...) }
+func (p *Peer) OutCopy() []kautz.Str { return append([]kautz.Str(nil), p.Out()...) }
 
 // InCopy returns a copy of the in-neighbor list.
-func (p *Peer) InCopy() []kautz.Str { return append([]kautz.Str(nil), p.in...) }
+func (p *Peer) InCopy() []kautz.Str { return append([]kautz.Str(nil), p.In()...) }
 
 // Degree returns the peer's out-degree.
-func (p *Peer) Degree() int { return len(p.out) }
+func (p *Peer) Degree() int { return int(p.outLen) }
+
+// setTables installs the packed routing table: nbr holds the out-neighbors
+// followed by the in-neighbors, outLen marks the split.
+func (p *Peer) setTables(nbr []kautz.Str, outLen int) {
+	p.nbr = nbr
+	p.outLen = int32(outLen)
+}
 
 // ServedReads returns how many region scans this peer has answered as a
 // replica group's serving member.

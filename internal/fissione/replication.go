@@ -267,22 +267,31 @@ func (n *Network) foreignRunPrefixes(p *Peer) []kautz.Str {
 // invariant: every peer stores only its own region's objects.
 func (n *Network) CheckReplicas() error {
 	for _, owner := range n.ids {
-		group := n.groupIDs(owner)
-		own := n.peers[owner].copyPrefixRun(owner)
-		for _, id := range group[1:] {
-			got := n.peers[id].copyPrefixRun(owner)
-			if !equalStored(got, own) {
-				return fmt.Errorf("fissione: replica %q of region %q diverged: holds %d objects, owner holds %d",
-					id, owner, len(got), len(own))
-			}
+		if err := n.checkReplicaRegion(owner); err != nil {
+			return err
 		}
 	}
-	for _, id := range n.ids {
-		p := n.peers[id]
-		for _, prefix := range n.foreignRunPrefixes(p) {
-			if !containsID(n.groupIDs(prefix), id) {
-				return fmt.Errorf("fissione: %q stores objects of region %q but is not in its replica group", id, prefix)
-			}
+	return nil
+}
+
+// checkReplicaRegion verifies the replica invariant at one identifier:
+// every member of id's replica group holds a byte-identical copy of id's
+// region, and id's own store contains no run of a region whose group it
+// does not belong to.
+func (n *Network) checkReplicaRegion(id kautz.Str) error {
+	group := n.groupIDs(id)
+	own := n.peers[id].copyPrefixRun(id)
+	for _, member := range group[1:] {
+		got := n.peers[member].copyPrefixRun(id)
+		if !equalStored(got, own) {
+			return fmt.Errorf("fissione: replica %q of region %q diverged: holds %d objects, owner holds %d",
+				member, id, len(got), len(own))
+		}
+	}
+	p := n.peers[id]
+	for _, prefix := range n.foreignRunPrefixes(p) {
+		if !containsID(n.groupIDs(prefix), id) {
+			return fmt.Errorf("fissione: %q stores objects of region %q but is not in its replica group", id, prefix)
 		}
 	}
 	return nil

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"io"
 	"math"
+	"runtime"
 	"sync/atomic"
 
 	"armada/internal/core"
@@ -51,6 +52,20 @@ func (n *Network) initObs(cfg config) {
 	o.reg.MustRegister("query_delay_vs_bound", o.delayRatio)
 	o.reg.MustRegister("delay_bound_violations", &o.delayViol)
 	o.reg.MustRegister("peers", obs.GaugeFunc(func() int64 { return int64(n.Size()) }))
+	o.reg.MustRegister("heap_alloc_bytes", obs.GaugeFunc(func() int64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return int64(ms.HeapAlloc)
+	}))
+	o.reg.MustRegister("heap_bytes_per_peer", obs.GaugeFunc(func() int64 {
+		size := n.Size()
+		if size == 0 {
+			return 0
+		}
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return int64(ms.HeapAlloc) / int64(size)
+	}))
 	if cfg.flightRecorder > 0 {
 		o.flight = obs.NewRecorder(cfg.flightRecorder)
 		o.reg.MustRegister("flight_recorder_events_total", o.flight.TotalCounter())

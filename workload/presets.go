@@ -21,6 +21,30 @@ var presets = []Scenario{
 		Keys:    KeyDist{Kind: KeyUniform},
 	},
 	{
+		// The steady mix at 10k peers — the CI scale smoke. Small op
+		// budget: the point is the memory block (bytes_per_peer, build or
+		// snapshot-load wall clock) and a clean sampled audit at a size
+		// where the full audit is already slow, not fresh query statistics.
+		Name:    "steady-10k",
+		Peers:   10_000,
+		Preload: 5000,
+		Ops:     2000,
+		Mix:     Mix{Publish: 10, Unpublish: 8, Lookup: 12, Range: 60, TopK: 5},
+		Keys:    KeyDist{Kind: KeyUniform},
+	},
+	{
+		// The steady mix at the paper-scale 100k peers. Run it with a
+		// warm-start snapshot (-snapshot-in) to skip the cold build;
+		// post-run verification should use -audit-sample, since the full
+		// per-peer table check at this size costs minutes.
+		Name:    "steady-100k",
+		Peers:   100_000,
+		Preload: 20_000,
+		Ops:     2000,
+		Mix:     Mix{Publish: 10, Unpublish: 8, Lookup: 12, Range: 60, TopK: 5},
+		Keys:    KeyDist{Kind: KeyUniform},
+	},
+	{
 		// Zipf-skewed keys and narrow ranges: most traffic hammers the few
 		// peers owning the hot end of the namespace (the D3-Tree/ART
 		// skewed-access scenario). A slice of the range traffic runs the

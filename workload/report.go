@@ -112,6 +112,23 @@ type ShortcutReport struct {
 	HitRate float64 `json:"hit_rate"`
 }
 
+// MemoryReport records the network's steady-state memory footprint and the
+// cost of bringing it up — the scale metrics the 100k-peer runs are judged
+// by. Heap numbers are taken after a forced GC, before preload traffic, so
+// they measure the data plane (peers, routing tables, indexes), not the
+// workload's objects.
+type MemoryReport struct {
+	// HeapAllocBytes is the live heap after the network is built;
+	// BytesPerPeer divides it by the network size.
+	HeapAllocBytes uint64  `json:"heap_alloc_bytes"`
+	BytesPerPeer   float64 `json:"bytes_per_peer"`
+	// BuildMs is the wall-clock cost of constructing the network (zero when
+	// the caller reused an existing one); SnapshotLoadMs the cost of
+	// restoring it from a warm-start snapshot instead (zero on cold builds).
+	BuildMs        float64 `json:"build_ms,omitempty"`
+	SnapshotLoadMs float64 `json:"snapshot_load_ms,omitempty"`
+}
+
 // EnvReport records the execution environment a report was produced in.
 // Latency budgets are only comparable within one environment; the compare
 // gate (armada-load -compare) refuses to gate across a GOMAXPROCS
@@ -258,6 +275,9 @@ type Report struct {
 	// the paper's 2·log₂N bound during the run. The theorem says zero;
 	// always present so CI can assert exactly that.
 	DelayBoundViolations int64 `json:"delay_bound_violations"`
+	// Memory records the built network's heap footprint and build (or
+	// snapshot-load) wall-clock cost.
+	Memory *MemoryReport `json:"memory,omitempty"`
 	// Env records the environment the report was produced in; -compare
 	// gates on it.
 	Env       *EnvReport `json:"env,omitempty"`

@@ -24,6 +24,14 @@ type Runner struct {
 	// taken (progress reporting). It is called from the snapshot
 	// goroutine.
 	OnSnapshot func(Snapshot)
+
+	// BuildMs and SnapshotLoadMs, when set by the caller before Run, are
+	// copied into the report's memory block: the wall-clock cost of
+	// building the network cold or restoring it from a warm-start
+	// snapshot. Execute fills BuildMs itself; armada-load fills whichever
+	// path it took.
+	BuildMs        float64
+	SnapshotLoadMs float64
 }
 
 // New builds a Runner for the scenario (defaults filled, then validated)
@@ -68,15 +76,18 @@ func Execute(ctx context.Context, sc Scenario) (*Report, error) {
 	if err := sc.validate(); err != nil {
 		return nil, err
 	}
+	buildStart := time.Now()
 	net, err := armada.NewNetwork(sc.Peers, sc.NetworkOptions()...)
 	if err != nil {
 		return nil, err
 	}
+	buildMs := float64(time.Since(buildStart)) / float64(time.Millisecond)
 	defer net.Close()
 	r, err := New(net, sc)
 	if err != nil {
 		return nil, err
 	}
+	r.BuildMs = buildMs
 	return r.Run(ctx)
 }
 
@@ -89,6 +100,22 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 		ctx = context.Background()
 	}
 	sc := &r.sc
+
+	// Measure the data plane's settled footprint before preload pumps
+	// workload objects into it: live heap after a forced collection, per
+	// peer. This is the number the scale budget (CI) gates on.
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	mem := &MemoryReport{
+		HeapAllocBytes: ms.HeapAlloc,
+		BuildMs:        r.BuildMs,
+		SnapshotLoadMs: r.SnapshotLoadMs,
+	}
+	if size := r.net.Size(); size > 0 {
+		mem.BytesPerPeer = float64(ms.HeapAlloc) / float64(size)
+	}
+
 	pool := &keyPool{}
 	if err := r.preload(pool); err != nil {
 		return nil, fmt.Errorf("workload: preload: %w", err)
@@ -201,6 +228,7 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 			FailedActions: end.FailedActions - startLC.FailedActions,
 		}
 	}
+	rep.Memory = mem
 	rep.Env = &EnvReport{
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),

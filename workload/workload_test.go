@@ -25,8 +25,8 @@ func small() Scenario {
 
 func TestPresetsValid(t *testing.T) {
 	ps := Presets()
-	if len(ps) != 9 {
-		t.Fatalf("presets = %d, want 9", len(ps))
+	if len(ps) != 11 {
+		t.Fatalf("presets = %d, want 11", len(ps))
 	}
 	for _, p := range ps {
 		sc := p.withDefaults()
@@ -124,6 +124,15 @@ func TestExecuteClosedLoop(t *testing.T) {
 	last := rep.Intervals[len(rep.Intervals)-1]
 	if last.Peers != 80 {
 		t.Errorf("final snapshot peers = %d", last.Peers)
+	}
+	if rep.Memory == nil {
+		t.Fatal("no memory block")
+	}
+	if rep.Memory.HeapAllocBytes == 0 || rep.Memory.BytesPerPeer <= 0 {
+		t.Errorf("memory block not measured: %+v", rep.Memory)
+	}
+	if rep.Memory.BuildMs <= 0 {
+		t.Errorf("Execute did not record build time: %+v", rep.Memory)
 	}
 }
 
