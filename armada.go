@@ -41,6 +41,7 @@ import (
 	"sync"
 
 	"armada/internal/core"
+	"armada/internal/diag"
 	"armada/internal/fissione"
 	"armada/internal/kautz"
 	"armada/internal/loadctl"
@@ -453,20 +454,42 @@ func (n *Network) Stream(ctx context.Context, q Query) iter.Seq2[Object, error] 
 // on a network with a frontier cache, plain non-streaming range queries
 // get one automatically.
 func (n *Network) do(ctx context.Context, q Query, issuer string, onMatch func(Object), fr *frontierExec) (*Result, error) {
-	rec := n.obs.flight
+	rec, dm := n.obs.flight, n.obs.diag
 	var qid uint64
-	if rec != nil {
+	if rec != nil || dm != nil {
 		qid = n.obs.qseq.Add(1)
+	}
+	if rec != nil {
 		rec.Record(obs.Event{Kind: obs.EvQueryStart, QID: qid, From: issuer, Note: q.kind().String()})
 	}
-	res, err := n.exec(ctx, q, issuer, onMatch, fr, qid)
+	var dq *diag.Query
+	if dm != nil {
+		dq = dm.Begin(qid, q.kind().String(), issuer, q.QueueWait)
+	}
+	res, err := n.exec(ctx, q, issuer, onMatch, fr, qid, dq)
 	if err != nil {
+		if dq != nil {
+			dm.Finish(dq, diag.Outcome{Err: true})
+		}
 		if rec != nil {
 			rec.Record(obs.Event{Kind: obs.EvQueryEnd, QID: qid, Note: err.Error()})
 		}
 		return nil, err
 	}
-	n.noteQuery(res.Stats)
+	bound := n.noteQuery(res.Stats)
+	if dq != nil {
+		dm.Finish(dq, diag.Outcome{
+			Delay:         res.Stats.Delay,
+			Bound:         bound,
+			Messages:      res.Stats.Messages,
+			DestPeers:     res.Stats.DestPeers,
+			Deliveries:    res.Stats.Deliveries,
+			ReplicaServed: res.Stats.ReplicaServed,
+			ShortcutHits:  res.Stats.ShortcutHits,
+			FrontierHits:  res.Stats.FrontierHits,
+			DescentsSaved: res.Stats.DescentsSaved,
+		})
+	}
 	if rec != nil {
 		if res.NextOffsetID != "" {
 			rec.Record(obs.Event{Kind: obs.EvPageCut, QID: qid, Note: res.NextOffsetID})
@@ -478,8 +501,11 @@ func (n *Network) do(ctx context.Context, q Query, issuer string, onMatch func(O
 }
 
 // exec runs one query on the engine. qid tags the query's flight-recorder
-// events; it is 0 (and ignored) without a recorder.
-func (n *Network) exec(ctx context.Context, q Query, issuer string, onMatch func(Object), fr *frontierExec, qid uint64) (*Result, error) {
+// events; it is 0 (and ignored) without a recorder or diagnostics. dq,
+// when non-nil, is the query's diagnostics collector: the trace stream
+// feeds its stage breakdown and the classifier flags are set here, at the
+// decision points they describe.
+func (n *Network) exec(ctx context.Context, q Query, issuer string, onMatch func(Object), fr *frontierExec, qid uint64, dq *diag.Query) (*Result, error) {
 	kind := q.kind()
 	opts := make([]core.QueryOption, 0, 6)
 	if n.mode == core.Async {
@@ -494,9 +520,15 @@ func (n *Network) exec(ctx context.Context, q Query, issuer string, onMatch func
 	}
 	if fr != nil {
 		fr.qid = qid
+		fr.dq = dq
 	}
-	if q.Trace != nil || n.obs.flight != nil {
-		opts = append(opts, core.WithTrace(n.traceFunc(q.Trace, qid)))
+	if q.Trace != nil || n.obs.flight != nil || dq != nil {
+		opts = append(opts, core.WithTrace(n.traceFunc(q.Trace, qid, dq)))
+	}
+	if dq != nil {
+		opts = append(opts, core.WithScanTrace(func(_ kautz.Str, depth, matched int) {
+			dq.NoteScan(depth, matched)
+		}))
 	}
 	if onMatch != nil {
 		opts = append(opts, core.WithOnMatch(func(m core.Match) {
@@ -540,6 +572,9 @@ func (n *Network) exec(ctx context.Context, q Query, issuer string, onMatch func
 			return nil, fmt.Errorf("%w: lookup needs a name or attribute values", ErrBadQuery)
 		}
 		if n.stable != nil {
+			if dq != nil {
+				dq.MarkShortcutEligible()
+			}
 			// Lookups are the degenerate region ⟨oid, oid⟩ — always a
 			// single learned owner on a hit.
 			if route, ok := n.shortcutRoute(kautz.Region{Low: oid, High: oid}); ok {
@@ -757,12 +792,12 @@ type FrontierCacheStats struct {
 	// Hits and Misses count cache lookups by range queries; Stale is the
 	// subset of misses that evicted an entry invalidated by churn (the
 	// topology epoch moved past it).
-	Hits   int64
-	Misses int64
-	Stale  int64
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	Stale  int64 `json:"stale"`
 	// Entries is the current entry count; Capacity the configured bound.
-	Entries  int
-	Capacity int
+	Entries  int `json:"entries"`
+	Capacity int `json:"capacity"`
 }
 
 // FrontierCacheStats reports the shared frontier cache's counters; ok is
@@ -788,13 +823,13 @@ type ShortcutTableStats struct {
 	// queries; Stale is how many entries were dropped on sight after a
 	// topology epoch change; Evicted how many the capacity bound pushed
 	// out.
-	Hits    int64
-	Misses  int64
-	Stale   int64
-	Evicted int64
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Stale   int64 `json:"stale"`
+	Evicted int64 `json:"evicted"`
 	// Entries is the current entry count; Capacity the configured bound.
-	Entries  int
-	Capacity int
+	Entries  int `json:"entries"`
+	Capacity int `json:"capacity"`
 }
 
 // ShortcutTableStats reports the learned shortcut routing table's

@@ -116,6 +116,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		verbose   = fs.Bool("v", false, "print interval snapshots to stderr while running")
 		flightRec = fs.Int("flight-recorder", 0, "attach a query-lifecycle flight recorder retaining this many events (0 = none; implied by -trace-out)")
 		traceOut  = fs.String("trace-out", "", "write the flight recorder's events as Chrome trace-event JSON to this file after the run (implies -flight-recorder 65536 when unset)")
+		slowLog   = fs.Int("slow-log", 0, "attach the query-diagnostics layer retaining this many slow-query records (0 = none; implied by -slow-out); enables tail_attribution and slo report blocks and the /debug/armada endpoints")
+		slowThr   = fs.Duration("slow-threshold", 0, "fixed slow-query threshold; 0 adapts to an EWMA of the observed p99 latency")
+		slowOut   = fs.String("slow-out", "", "write the slow-query log, tail attribution and SLO state as JSON to this file after the run (implies -slow-log 256 when unset)")
 		metricsAd = fs.String("metrics-addr", "", "serve live metrics over HTTP on this address: Prometheus text at /metrics, expvar at /debug/vars")
 		pprofAd   = fs.String("pprof-addr", "", "serve net/http/pprof on this address (/debug/pprof/)")
 		snapOut   = fs.String("snapshot-out", "", "after building the network, save its topology snapshot to this file (see -snapshot-in)")
@@ -268,6 +271,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 				keep(fmt.Errorf("-flight-recorder %d: must be at least 0", *flightRec))
 			}
 			sc.FlightRecorder = *flightRec
+		case "slow-log":
+			if *slowLog < 0 {
+				keep(fmt.Errorf("-slow-log %d: must be at least 0", *slowLog))
+			}
+			sc.SlowQueryLog = *slowLog
+		case "slow-threshold":
+			if *slowThr < 0 {
+				keep(fmt.Errorf("-slow-threshold %v: must be at least 0", *slowThr))
+			}
+			sc.SlowThreshold = *slowThr
 		}
 	})
 	if parseErr != nil {
@@ -280,6 +293,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 	if *traceOut != "" && sc.FlightRecorder == 0 {
 		sc.FlightRecorder = 1 << 16
+	}
+	if *slowOut != "" && sc.SlowQueryLog == 0 {
+		sc.SlowQueryLog = 256
 	}
 
 	sc, err := sc.Normalize()
@@ -346,6 +362,17 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 					fmt.Fprintln(stderr, "armada-load: trace dump:", err)
 				} else {
 					fmt.Fprintf(stderr, "armada-load: wrote flight trace to %s\n", *traceOut)
+				}
+			}()
+		}
+		if *slowOut != "" {
+			// Deferred for the same reason: the slow-query log matters most
+			// on the runs that end badly.
+			defer func() {
+				if err := writeSlowLog(net, *slowOut); err != nil {
+					fmt.Fprintln(stderr, "armada-load: slow-query dump:", err)
+				} else {
+					fmt.Fprintf(stderr, "armada-load: wrote slow-query log to %s\n", *slowOut)
 				}
 			}()
 		}
@@ -448,6 +475,73 @@ func startHTTP(metricsAddr, pprofAddr string, stderr io.Writer) error {
 			}
 		})
 		mux.Handle("/debug/vars", expvar.Handler())
+		writeJSON := func(w http.ResponseWriter, v any) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(v); err != nil {
+				fmt.Fprintf(stderr, "armada-load: debug endpoint write: %v\n", err)
+			}
+		}
+		// live guards a debug handler: 503 between worst-of networks, like
+		// /metrics.
+		live := func(h func(http.ResponseWriter, *http.Request, *armada.Network)) http.HandlerFunc {
+			return func(w http.ResponseWriter, r *http.Request) {
+				n := liveNet.Load()
+				if n == nil {
+					http.Error(w, "no live network", http.StatusServiceUnavailable)
+					return
+				}
+				h(w, r, n)
+			}
+		}
+		mux.HandleFunc("/debug/armada/slow", live(func(w http.ResponseWriter, _ *http.Request, n *armada.Network) {
+			d, ok := snapSlow(n)
+			if !ok {
+				http.Error(w, "diagnostics disabled (run with -slow-log)", http.StatusNotFound)
+				return
+			}
+			writeJSON(w, d)
+		}))
+		mux.HandleFunc("/debug/armada/regions", live(func(w http.ResponseWriter, r *http.Request, n *armada.Network) {
+			topN := 0
+			if s := r.URL.Query().Get("top"); s != "" {
+				if v, err := strconv.Atoi(s); err == nil && v > 0 {
+					topN = v
+				}
+			}
+			writeJSON(w, struct {
+				Peers   int                 `json:"peers"`
+				Epoch   uint64              `json:"epoch"`
+				Regions []armada.RegionHeat `json:"regions"`
+			}{n.Size(), n.Epoch(), n.RegionHeatReport(topN)})
+		}))
+		mux.HandleFunc("/debug/armada/routing", live(func(w http.ResponseWriter, _ *http.Request, n *armada.Network) {
+			hitRate := func(hits, misses int64) float64 {
+				if total := hits + misses; total > 0 {
+					return float64(hits) / float64(total)
+				}
+				return 0
+			}
+			var resp struct {
+				Peers         int                        `json:"peers"`
+				Epoch         uint64                     `json:"epoch"`
+				FrontierCache *armada.FrontierCacheStats `json:"frontier_cache,omitempty"`
+				FrontierHit   float64                    `json:"frontier_hit_rate"`
+				Shortcut      *armada.ShortcutTableStats `json:"shortcut_table,omitempty"`
+				ShortcutHit   float64                    `json:"shortcut_hit_rate"`
+			}
+			resp.Peers, resp.Epoch = n.Size(), n.Epoch()
+			if cs, ok := n.FrontierCacheStats(); ok {
+				resp.FrontierCache = &cs
+				resp.FrontierHit = hitRate(cs.Hits, cs.Misses)
+			}
+			if ss, ok := n.ShortcutTableStats(); ok {
+				resp.Shortcut = &ss
+				resp.ShortcutHit = hitRate(ss.Hits, ss.Misses)
+			}
+			writeJSON(w, resp)
+		}))
 		serve(metricsAddr, mux, "metrics")
 	}
 	if pprofAddr != "" {
@@ -518,6 +612,56 @@ func writeTrace(net *armada.Network, path string) error {
 		return err
 	}
 	if err := net.WriteFlightTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// slowDump is the -slow-out file shape — the same payload
+// /debug/armada/slow serves live.
+type slowDump struct {
+	// ThresholdMs is the slow-query threshold in force when the dump was
+	// taken (the adaptive EWMA of the p99, or the fixed -slow-threshold).
+	ThresholdMs float64 `json:"threshold_ms"`
+	// SlowQueries holds the log's retained records, oldest first.
+	SlowQueries []armada.SlowQuery `json:"slow_queries"`
+	// TailAttribution breaks the run's >p99 queries down by cause; SLO is
+	// the delay-bound burn-rate monitor's state.
+	TailAttribution armada.TailAttribution `json:"tail_attribution"`
+	SLO             armada.SLOStatus       `json:"slo"`
+}
+
+// snapSlow gathers the diagnostics layer's state; ok is false when the
+// network runs without it.
+func snapSlow(net *armada.Network) (slowDump, bool) {
+	if !net.DiagnosticsEnabled() {
+		return slowDump{}, false
+	}
+	d := slowDump{SlowQueries: net.SlowQueries()}
+	if d.SlowQueries == nil {
+		d.SlowQueries = []armada.SlowQuery{} // JSON [] over null
+	}
+	d.ThresholdMs, _ = net.SlowThresholdMs()
+	d.TailAttribution, _ = net.TailAttributionReport()
+	d.SLO, _ = net.SLOStatusReport()
+	return d, true
+}
+
+// writeSlowLog dumps the diagnostics layer's slow-query log, tail
+// attribution and SLO state as JSON.
+func writeSlowLog(net *armada.Network, path string) error {
+	d, ok := snapSlow(net)
+	if !ok {
+		return fmt.Errorf("network runs without diagnostics")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(d); err != nil {
 		f.Close()
 		return err
 	}

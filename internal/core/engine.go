@@ -220,6 +220,12 @@ type QueryConfig struct {
 	// after re-validation against the live topology and silently ignored
 	// otherwise.
 	Shortcut *ShortcutRoute
+	// ScanTrace, when non-nil, observes each delivery's completed store
+	// scan: the serving peer, the delivery depth, and how many matches the
+	// scan collected. It complements Trace (whose deliver/redirect hops
+	// fire before the scan runs) with the scan cost itself. Under Async
+	// mode it may be called concurrently.
+	ScanTrace func(serving kautz.Str, depth, matched int)
 }
 
 // QueryOption adjusts one query's configuration.
@@ -248,6 +254,11 @@ func WithRunsOnly() QueryOption { return func(c *QueryConfig) { c.RunsOnly = tru
 
 // WithReadPolicy selects the replica-serving policy for this query.
 func WithReadPolicy(p ReadPolicy) QueryOption { return func(c *QueryConfig) { c.Policy = p } }
+
+// WithScanTrace installs a store-scan observer for this query.
+func WithScanTrace(f func(serving kautz.Str, depth, matched int)) QueryOption {
+	return func(c *QueryConfig) { c.ScanTrace = f }
+}
 
 func buildQueryConfig(opts []QueryOption) QueryConfig {
 	var cfg QueryConfig
@@ -753,6 +764,9 @@ func (e *Engine) scanDelivery(state *queryState, owner, serving *fissione.Peer, 
 		state.truncated = true
 	}
 	state.mu.Unlock()
+	if state.cfg.ScanTrace != nil {
+		state.cfg.ScanTrace(serving.ID(), depth, len(collected))
+	}
 	if state.cfg.OnMatch != nil {
 		for _, m := range collected {
 			state.cfg.OnMatch(m)

@@ -372,3 +372,22 @@ func (c *Controller) Report() Report {
 	}
 	return rep
 }
+
+// Rates returns every tracked region's EWMA delivery rate, hottest first —
+// the uncapped feed behind live region-heat introspection (Report caps its
+// Hottest list for JSON reports).
+func (c *Controller) Rates() []RegionRate {
+	c.mu.Lock()
+	out := make([]RegionRate, 0, len(c.rates))
+	for id, r := range c.rates {
+		out = append(out, RegionRate{ID: id, Rate: r.rate})
+	}
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rate != out[j].Rate {
+			return out[i].Rate > out[j].Rate
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}

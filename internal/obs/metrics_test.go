@@ -207,3 +207,86 @@ func TestFormatBound(t *testing.T) {
 		}
 	}
 }
+
+// TestCounterValuesMonotonicDeltas: CounterValues snapshots taken while
+// writers increment must be subtractable — every key present in every
+// snapshot, no interval delta negative (counters, histogram counts and
+// cumulative buckets alike), and the interval deltas telescoping to
+// exactly the full-run delta. This is the contract the workload report's
+// metric-delta block leans on.
+func TestCounterValuesMonotonicDeltas(t *testing.T) {
+	reg := NewRegistry()
+	var c Counter
+	h := NewHistogram(1, 10, 100)
+	reg.MustRegister("deltas_total", &c)
+	reg.MustRegister("deltas_hist", h)
+	reg.MustRegister("deltas_gauge", &Gauge{}) // must never appear in CounterValues
+
+	const (
+		writers = 6
+		perW    = 4000
+	)
+	var wg sync.WaitGroup
+	writersDone := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				c.Inc()
+				h.Observe(float64((w*perW + i) % 128))
+			}
+		}(w)
+	}
+	go func() { wg.Wait(); close(writersDone) }()
+
+	snaps := []map[string]int64{reg.CounterValues()}
+	for loop := true; loop; {
+		select {
+		case <-writersDone:
+			loop = false
+		default:
+		}
+		snaps = append(snaps, reg.CounterValues())
+	}
+	snaps = append(snaps, reg.CounterValues()) // quiescent final snapshot
+
+	first, last := snaps[0], snaps[len(snaps)-1]
+	if len(snaps) < 3 {
+		t.Fatalf("only %d snapshots; the writers finished before any interval landed", len(snaps))
+	}
+	sums := make(map[string]int64)
+	for i := 1; i < len(snaps); i++ {
+		prev, cur := snaps[i-1], snaps[i]
+		if len(cur) != len(prev) {
+			t.Fatalf("snapshot %d has %d keys, previous had %d", i, len(cur), len(prev))
+		}
+		for k, v := range cur {
+			pv, ok := prev[k]
+			if !ok {
+				t.Fatalf("key %q appeared between snapshots %d and %d", k, i-1, i)
+			}
+			if v < pv {
+				t.Fatalf("key %q went backwards between snapshots %d and %d: %d -> %d", k, i-1, i, pv, v)
+			}
+			sums[k] += v - pv
+		}
+	}
+	for k, sum := range sums {
+		if full := last[k] - first[k]; sum != full {
+			t.Errorf("key %q: interval deltas sum to %d, full-run delta is %d", k, sum, full)
+		}
+	}
+	if _, ok := last["deltas_gauge"]; ok {
+		t.Error("gauge leaked into CounterValues; deltas over it are meaningless")
+	}
+	if got, want := last["deltas_total"], int64(writers*perW); got != want {
+		t.Errorf("deltas_total = %d, want %d", got, want)
+	}
+	if got, want := last["deltas_hist_count"], int64(writers*perW); got != want {
+		t.Errorf("deltas_hist_count = %d, want %d", got, want)
+	}
+	if got, want := last["deltas_hist_le_inf"], last["deltas_hist_count"]; got != want {
+		t.Errorf("le_inf bucket %d != observation count %d", got, want)
+	}
+}

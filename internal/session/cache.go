@@ -72,32 +72,33 @@ func NewCache(capacity int) *Cache {
 // Lookup returns a cached frontier able to seed a query over the
 // cursor-clipped region need, with attribute bounds [lo, hi], at the live
 // topology epoch. An entry from an older epoch is dropped on sight
-// (counted as stale); an entry that does not cover need — by region or by
+// (counted as stale, and reported so the caller can attribute the forced
+// descent to churn); an entry that does not cover need — by region or by
 // bounds (a capture's descent pruned destinations outside its own box, so
 // its entries cannot serve a wider one) — stays cached (a narrower query
 // may still use it) but reports a miss.
-func (c *Cache) Lookup(key string, need kautz.Region, lo, hi []float64, epoch uint64) (*core.Frontier, bool) {
+func (c *Cache) Lookup(key string, need kautz.Region, lo, hi []float64, epoch uint64) (f *core.Frontier, ok, stale bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.byKey[key]
 	if !ok {
 		c.misses.Inc()
-		return nil, false
+		return nil, false, false
 	}
 	en := el.Value.(*centry)
 	if en.f.Epoch != epoch {
 		c.removeLocked(el)
 		c.stale.Inc()
 		c.misses.Inc()
-		return nil, false
+		return nil, false, true
 	}
 	if !en.f.Covers(need) || !en.f.CoversBounds(lo, hi) {
 		c.misses.Inc()
-		return nil, false
+		return nil, false, false
 	}
 	c.ll.MoveToFront(el)
 	c.hits.Inc()
-	return en.f, true
+	return en.f, true, false
 }
 
 // Insert caches f under key, replacing any previous entry for the key and

@@ -39,13 +39,13 @@ func TestCacheHitRequiresCoverage(t *testing.T) {
 	covered := region(t, "0102", "0121")
 	c.Insert("01", frontier(1, covered))
 
-	if _, ok := c.Lookup("01", region(t, "0102", "0120"), nil, nil, 1); !ok {
+	if _, ok, _ := c.Lookup("01", region(t, "0102", "0120"), nil, nil, 1); !ok {
 		t.Error("contained region missed")
 	}
-	if _, ok := c.Lookup("01", region(t, "0120", "0201"), nil, nil, 1); ok {
+	if _, ok, _ := c.Lookup("01", region(t, "0120", "0201"), nil, nil, 1); ok {
 		t.Error("region beyond the entry's coverage hit")
 	}
-	if _, ok := c.Lookup("02", region(t, "0201", "0210"), nil, nil, 1); ok {
+	if _, ok, _ := c.Lookup("02", region(t, "0201", "0210"), nil, nil, 1); ok {
 		t.Error("unknown key hit")
 	}
 	s := c.Stats()
@@ -61,16 +61,16 @@ func TestCacheHitRequiresBoundsCoverage(t *testing.T) {
 	f.Lo, f.Hi = []float64{100, 10}, []float64{200, 20}
 	c.Insert("01", f)
 
-	if _, ok := c.Lookup("01", r, []float64{120, 12}, []float64{180, 18}, 1); !ok {
+	if _, ok, _ := c.Lookup("01", r, []float64{120, 12}, []float64{180, 18}, 1); !ok {
 		t.Error("bounds inside the capture's box missed")
 	}
 	// Same region coverage, wider second attribute: the capturing descent
 	// pruned destinations outside [10, 20], so serving this would drop
 	// matches.
-	if _, ok := c.Lookup("01", r, []float64{120, 5}, []float64{180, 18}, 1); ok {
+	if _, ok, _ := c.Lookup("01", r, []float64{120, 5}, []float64{180, 18}, 1); ok {
 		t.Error("bounds outside the capture's box hit")
 	}
-	if _, ok := c.Lookup("01", r, []float64{120}, []float64{180}, 1); ok {
+	if _, ok, _ := c.Lookup("01", r, []float64{120}, []float64{180}, 1); ok {
 		t.Error("mismatched attribute count hit")
 	}
 }
@@ -79,12 +79,16 @@ func TestCacheStaleEpochEvicts(t *testing.T) {
 	c := NewCache(4)
 	r := region(t, "0102", "0121")
 	c.Insert("01", frontier(1, r))
-	if _, ok := c.Lookup("01", r, nil, nil, 2); ok {
-		t.Fatal("stale-epoch entry served")
+	if _, ok, stale := c.Lookup("01", r, nil, nil, 2); ok || !stale {
+		t.Fatalf("stale-epoch entry: ok=%v stale=%v, want a reported stale drop", ok, stale)
 	}
 	s := c.Stats()
 	if s.Stale != 1 || s.Entries != 0 {
 		t.Errorf("stats = %+v, want the stale entry dropped on sight", s)
+	}
+	// A plain miss (no entry at all) is not stale.
+	if _, ok, stale := c.Lookup("02", r, nil, nil, 2); ok || stale {
+		t.Errorf("empty-key lookup: ok=%v stale=%v, want a plain miss", ok, stale)
 	}
 }
 
@@ -93,15 +97,15 @@ func TestCacheLRUEviction(t *testing.T) {
 	r := region(t, "0102", "0121")
 	c.Insert("a", frontier(1, r))
 	c.Insert("b", frontier(1, r))
-	if _, ok := c.Lookup("a", r, nil, nil, 1); !ok { // refresh a; b is now LRU
+	if _, ok, _ := c.Lookup("a", r, nil, nil, 1); !ok { // refresh a; b is now LRU
 		t.Fatal("entry a missing")
 	}
 	c.Insert("c", frontier(1, r)) // evicts b
-	if _, ok := c.Lookup("b", r, nil, nil, 1); ok {
+	if _, ok, _ := c.Lookup("b", r, nil, nil, 1); ok {
 		t.Error("LRU entry b survived over-capacity insert")
 	}
 	for _, k := range []string{"a", "c"} {
-		if _, ok := c.Lookup(k, r, nil, nil, 1); !ok {
+		if _, ok, _ := c.Lookup(k, r, nil, nil, 1); !ok {
 			t.Errorf("entry %s evicted out of LRU order", k)
 		}
 	}
@@ -117,7 +121,7 @@ func TestCacheReplaceSameKey(t *testing.T) {
 	c.Insert("k", old)
 	repl := frontier(2, r)
 	c.Insert("k", repl)
-	got, ok := c.Lookup("k", r, nil, nil, 2)
+	got, ok, _ := c.Lookup("k", r, nil, nil, 2)
 	if !ok || got != repl {
 		t.Error("same-key insert did not replace the entry")
 	}

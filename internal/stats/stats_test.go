@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"sync"
 	"testing"
 )
 
@@ -115,5 +116,77 @@ func TestStdDev(t *testing.T) {
 	s := sampleOf(2, 4, 4, 4, 5, 5, 7, 9)
 	if got := s.StdDev(); math.Abs(got-2) > 1e-12 {
 		t.Errorf("stddev = %v, want 2", got)
+	}
+}
+
+// TestSafeSampleDrainConservation: interleaving Drain (the runner's
+// interval snapshots) with concurrent Add must neither lose nor duplicate
+// observations — the drained intervals plus the final drain hold exactly
+// the values added, each once. Run under -race this also proves a drained
+// Sample's backing array is never shared with a later Add.
+func TestSafeSampleDrainConservation(t *testing.T) {
+	const (
+		writers = 8
+		perW    = 5000
+	)
+	var c SafeSample
+	writersDone := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(base int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				c.AddInt(base + i)
+			}
+		}(w * perW)
+	}
+	go func() { wg.Wait(); close(writersDone) }()
+
+	// The drainer races the writers, reading each drained interval the way
+	// the runner does — the returned Sample must stay safely readable
+	// while Adds continue. A Snapshot reader rides along to catch any
+	// aliasing between the copy and the live accumulator.
+	seen := make(map[float64]int)
+	drained := 0
+	take := func(s *Sample) {
+		drained += s.N()
+		for _, v := range s.values {
+			seen[v]++
+		}
+	}
+	snapDone := make(chan struct{})
+	go func() {
+		defer close(snapDone)
+		for {
+			select {
+			case <-writersDone:
+				return
+			default:
+				_ = c.Snapshot().N()
+			}
+		}
+	}()
+	for loop := true; loop; {
+		select {
+		case <-writersDone:
+			loop = false
+		default:
+		}
+		take(c.Drain())
+	}
+	<-snapDone
+	take(c.Drain()) // anything added after the last in-loop drain
+
+	if want := writers * perW; drained != want {
+		t.Fatalf("drained %d observations, want %d", drained, want)
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("value %v drained %d times, want once", v, n)
+		}
+	}
+	if c.N() != 0 {
+		t.Errorf("accumulator holds %d observations after the final drain", c.N())
 	}
 }

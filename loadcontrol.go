@@ -133,8 +133,13 @@ func (n *Network) splitRegion(id string) (extra int, err error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	_, _, extra, err = n.net.SplitRegion(kautz.Str(id))
-	if err == nil && n.obs.flight != nil {
-		n.obs.flight.Record(obs.Event{Kind: obs.EvSplit, From: id, V1: int64(extra)})
+	if err == nil {
+		if n.obs.flight != nil {
+			n.obs.flight.Record(obs.Event{Kind: obs.EvSplit, From: id, V1: int64(extra)})
+		}
+		if n.obs.diag != nil {
+			n.obs.diag.NoteControlAction()
+		}
 	}
 	return extra, wrapFissioneErr(err, id)
 }
@@ -165,8 +170,13 @@ func (n *Network) migrateOwnership(donor, hot string) (extra int, err error) {
 		return 0, err
 	}
 	_, _, extra, err = n.net.SplitRegion(owner)
-	if err == nil && n.obs.flight != nil {
-		n.obs.flight.Record(obs.Event{Kind: obs.EvMigrate, From: donor, To: hot, V1: int64(extra)})
+	if err == nil {
+		if n.obs.flight != nil {
+			n.obs.flight.Record(obs.Event{Kind: obs.EvMigrate, From: donor, To: hot, V1: int64(extra)})
+		}
+		if n.obs.diag != nil {
+			n.obs.diag.NoteControlAction()
+		}
 	}
 	return extra, wrapFissioneErr(err, string(owner))
 }

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"armada/internal/core"
+	"armada/internal/diag"
 	"armada/internal/kautz"
 	"armada/internal/obs"
 )
@@ -24,6 +25,9 @@ type netObs struct {
 	// flight is the query-lifecycle flight recorder; nil without
 	// WithFlightRecorder (queries then skip all event construction).
 	flight *obs.Recorder
+	// diag is the query-diagnostics monitor; nil without WithDiagnostics
+	// (queries then skip all per-query collection).
+	diag *diag.Monitor
 	// delayRatio observes each query's realized Delay divided by the
 	// instantaneous 2·log₂N bound; delayViol counts queries at or above
 	// the bound (the paper's theorem says every one stays strictly below).
@@ -66,6 +70,14 @@ func (n *Network) initObs(cfg config) {
 		runtime.ReadMemStats(&ms)
 		return int64(ms.HeapAlloc) / int64(size)
 	}))
+	if cfg.diagnostics != nil {
+		o.diag = diag.NewMonitor(diag.Config{
+			LogCapacity: cfg.diagnostics.SlowLogCapacity,
+			Threshold:   cfg.diagnostics.SlowThreshold,
+			Objective:   cfg.diagnostics.Objective,
+		})
+		o.diag.DescribeMetrics(o.reg)
+	}
 	if cfg.flightRecorder > 0 {
 		o.flight = obs.NewRecorder(cfg.flightRecorder)
 		o.reg.MustRegister("flight_recorder_events_total", o.flight.TotalCounter())
@@ -78,49 +90,73 @@ func (n *Network) initObs(cfg config) {
 }
 
 // noteQuery samples one finished query against the paper's delay bound —
-// fewer than 2·log₂N overlay hops for the instantaneous network size N.
-// The caller holds the read lock, so Size is exact for this query.
-func (n *Network) noteQuery(s Stats) {
+// fewer than 2·log₂N overlay hops for the instantaneous network size N —
+// and returns the bound it judged against (0 when the network is too small
+// to have one). The caller holds the read lock, so Size is exact for this
+// query.
+func (n *Network) noteQuery(s Stats) float64 {
 	size := n.net.Size()
 	if size < 2 {
-		return
+		return 0
 	}
 	bound := 2 * math.Log2(float64(size))
 	n.obs.delayRatio.Observe(float64(s.Delay) / bound)
 	if float64(s.Delay) >= bound {
 		n.obs.delayViol.Inc()
 	}
+	return bound
+}
+
+// stageOf maps an engine hop kind to its diagnostics stage.
+func stageOf(kind core.HopKind) diag.Stage {
+	switch kind {
+	case core.HopDeliver:
+		return diag.StageDeliver
+	case core.HopRedirect:
+		return diag.StageRedirect
+	case core.HopSeed:
+		return diag.StageSeed
+	case core.HopShortcut:
+		return diag.StageShortcut
+	default:
+		return diag.StageForward
+	}
 }
 
 // traceFunc builds the engine hop observer for one query: the public hop
-// sink (WithTrace), the flight recorder, or both. With a recorder, hop
-// events are recorded directly from the engine callback — no public Hop is
-// constructed unless a sink asked for one. When neither is present the
-// caller installs no observer at all, so counting-only queries pay zero
-// tracing overhead (cost counters fold from Stats the engine computes
-// anyway).
-func (n *Network) traceFunc(sink func(Hop), qid uint64) core.TraceFunc {
+// sink (WithTrace), the flight recorder, the diagnostics collector, or any
+// combination. With only a sink, hop events stay on the cheap path — no
+// recorder event or stage attribution is constructed. When none of the
+// three is present the caller installs no observer at all, so
+// counting-only queries pay zero tracing overhead (cost counters fold from
+// Stats the engine computes anyway).
+func (n *Network) traceFunc(sink func(Hop), qid uint64, dq *diag.Query) core.TraceFunc {
 	rec := n.obs.flight
-	if rec == nil {
+	if rec == nil && dq == nil {
 		return func(_ core.HopKind, from, to kautz.Str, depth, remaining int) {
 			sink(Hop{From: string(from), To: string(to), Depth: depth, Remaining: remaining})
 		}
 	}
 	return func(kind core.HopKind, from, to kautz.Str, depth, remaining int) {
-		var ev obs.EventKind
-		switch kind {
-		case core.HopForward:
-			ev = obs.EvDescentStep
-		case core.HopDeliver:
-			ev = obs.EvDeliver
-		case core.HopRedirect:
-			ev = obs.EvReplicaRedirect
-		case core.HopSeed:
-			ev = obs.EvFrontierSeed
-		case core.HopShortcut:
-			ev = obs.EvShortcutSeed
+		if dq != nil {
+			dq.Note(stageOf(kind), depth)
 		}
-		rec.Record(obs.Event{Kind: ev, QID: qid, From: string(from), To: string(to), Depth: depth, Remaining: remaining})
+		if rec != nil {
+			var ev obs.EventKind
+			switch kind {
+			case core.HopForward:
+				ev = obs.EvDescentStep
+			case core.HopDeliver:
+				ev = obs.EvDeliver
+			case core.HopRedirect:
+				ev = obs.EvReplicaRedirect
+			case core.HopSeed:
+				ev = obs.EvFrontierSeed
+			case core.HopShortcut:
+				ev = obs.EvShortcutSeed
+			}
+			rec.Record(obs.Event{Kind: ev, QID: qid, From: string(from), To: string(to), Depth: depth, Remaining: remaining})
+		}
 		if sink != nil {
 			sink(Hop{From: string(from), To: string(to), Depth: depth, Remaining: remaining})
 		}

@@ -3,6 +3,7 @@ package armada
 import (
 	"errors"
 	"fmt"
+	"time"
 )
 
 // AttributeSpace is the value interval of one object attribute.
@@ -23,6 +24,7 @@ type config struct {
 	shortcutTable  int
 	flightRecorder int
 	loadControl    *LoadControlConfig
+	diagnostics    *DiagnosticsConfig
 }
 
 // Option configures NewNetwork.
@@ -163,6 +165,46 @@ func WithFlightRecorder(capacity int) Option {
 			return fmt.Errorf("%w: flight recorder capacity %d < 1", errBadOption, capacity)
 		}
 		c.flightRecorder = capacity
+		return nil
+	})
+}
+
+// DiagnosticsConfig tunes the query-diagnostics layer WithDiagnostics
+// attaches.
+type DiagnosticsConfig struct {
+	// SlowLogCapacity bounds the slow-query ring (records retained);
+	// 0 means the default of 256.
+	SlowLogCapacity int
+	// SlowThreshold fixes the slow-query threshold. The default, 0, is
+	// adaptive: an EWMA of the observed p99 query duration, so the log
+	// captures the current tail without hand-tuning — nothing is logged
+	// until the first 128 queries establish it.
+	SlowThreshold time.Duration
+	// Objective is the SLO over the paper's delay bound: the fraction of
+	// queries that must finish strictly below 2·log₂N hops. 0 means the
+	// default of 0.999. The burn-rate monitor divides each window's
+	// violation fraction by the remaining error budget (1 − Objective).
+	Objective float64
+}
+
+// WithDiagnostics attaches the query-diagnostics layer: per-query
+// critical-path breakdowns from the trace stream, a cause classifier, a
+// bounded slow-query log (SlowQueries), tail-latency attribution
+// (TailAttribution) and a multi-window SLO burn-rate monitor over the
+// delay bound (SLOStatus). The default is no diagnostics; queries then
+// skip all per-query collection.
+func WithDiagnostics(dc DiagnosticsConfig) Option {
+	return optionFunc(func(c *config) error {
+		if dc.SlowLogCapacity < 0 {
+			return fmt.Errorf("%w: slow-log capacity %d < 0", errBadOption, dc.SlowLogCapacity)
+		}
+		if dc.SlowThreshold < 0 {
+			return fmt.Errorf("%w: slow threshold %v < 0", errBadOption, dc.SlowThreshold)
+		}
+		if dc.Objective < 0 || dc.Objective >= 1 {
+			return fmt.Errorf("%w: SLO objective %v outside [0, 1)", errBadOption, dc.Objective)
+		}
+		c.diagnostics = &dc
 		return nil
 	})
 }

@@ -1,6 +1,9 @@
 package armada
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // QueryKind identifies the query algorithm a Query requests.
 type QueryKind int
@@ -129,6 +132,13 @@ type Query struct {
 	// Trace, when non-nil, observes every overlay message of the query.
 	// Queries on an async network may invoke it concurrently.
 	Trace func(Hop)
+	// QueueWait reports how long the caller held this query in a dispatch
+	// queue before executing it. It never changes execution; on a network
+	// built WithDiagnostics the classifier uses it to separate queued-up
+	// operations (queue-wait) from genuinely slow ones, and slow-query
+	// records carry it. The workload runner's open-loop dispatcher stamps
+	// it automatically.
+	QueueWait time.Duration
 }
 
 // QueryOption adjusts one Query.
@@ -166,6 +176,10 @@ func WithOffsetID(id string) QueryOption { return func(q *Query) { q.OffsetID = 
 // WithReadPolicy selects the replica-serving policy for this query on a
 // replicated network (no effect without WithReplication).
 func WithReadPolicy(p ReadPolicy) QueryOption { return func(q *Query) { q.ReadPolicy = p } }
+
+// WithQueueWait reports the caller-measured dispatch-queue wait to the
+// diagnostics layer (see Query.QueueWait). It never changes execution.
+func WithQueueWait(d time.Duration) QueryOption { return func(q *Query) { q.QueueWait = d } }
 
 // NewLookup builds an exact-match lookup query for name.
 func NewLookup(name string, opts ...QueryOption) Query {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"armada/internal/core"
+	"armada/internal/diag"
 	"armada/internal/kautz"
 	"armada/internal/obs"
 	"armada/internal/session"
@@ -124,6 +125,9 @@ func (s *Session) Next(ctx context.Context) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Only the first page paid the caller's dispatch-queue wait; later
+	// pages run back to back, so the stamp must not repeat.
+	s.q.QueueWait = 0
 	if fr.used != nil {
 		s.frontier = fr.used
 	}
@@ -164,8 +168,12 @@ type frontierExec struct {
 	// would be pure waste.
 	wantCapture bool
 	// qid tags the execution's flight-recorder events (0 without a
-	// recorder); Network.exec stamps it.
+	// recorder); Network.exec stamps it, along with dq — the query's
+	// diagnostics collector (nil without WithDiagnostics), which
+	// runFrontierRange marks when a stale frontier forces a descent or a
+	// shortcut route was on offer.
 	qid uint64
+	dq  *diag.Query
 
 	used      *core.Frontier // the frontier that seeded, or the fresh capture
 	fromCache bool           // used came from the shared cache
@@ -192,10 +200,17 @@ func (n *Network) runFrontierRange(ctx context.Context, issuer string, lo, hi []
 		epoch := n.net.Epoch()
 		if cand = fr.seed; cand != nil &&
 			(cand.Epoch != epoch || !cand.Covers(clipped) || !cand.CoversBounds(lo, hi)) {
+			if cand.Epoch != epoch && fr.dq != nil {
+				fr.dq.MarkStaleFrontier()
+			}
 			cand = nil
 		}
 		if cand == nil && n.fcache != nil {
-			if f, ok := n.fcache.Lookup(key, clipped, lo, hi, epoch); ok {
+			f, ok, stale := n.fcache.Lookup(key, clipped, lo, hi, epoch)
+			if stale && fr.dq != nil {
+				fr.dq.MarkStaleFrontier()
+			}
+			if ok {
 				cand, fr.fromCache = f, true
 			}
 		}
@@ -207,6 +222,9 @@ func (n *Network) runFrontierRange(ctx context.Context, issuer string, lo, hi []
 			// a MIRA descent prunes destinations with the box subspace
 			// predicate, which a region tiling cannot express.
 			if n.stable != nil && n.tree.Attrs() == 1 {
+				if fr.dq != nil {
+					fr.dq.MarkShortcutEligible()
+				}
 				if route, ok := n.shortcutRoute(clipped); ok {
 					opts = append(opts, core.WithShortcutRoute(route))
 				}

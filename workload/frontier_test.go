@@ -69,7 +69,7 @@ func TestCancelledWalkNotSampled(t *testing.T) {
 	coll := &collector{}
 	smp := newSampler(&sc, 3)
 	oc := &coll.ops[OpRangePaged]
-	r.doPagedRange(ctx, smp, oc, coll)
+	r.doPagedRange(ctx, smp, oc, coll, 0)
 	if got := oc.cancelled.Load(); got != 1 {
 		t.Errorf("cancelled = %d, want 1", got)
 	}
@@ -82,7 +82,7 @@ func TestCancelledWalkNotSampled(t *testing.T) {
 
 	// Same for the no-session ablation path.
 	r.sc.PagedNoSession = true
-	r.doPagedRange(ctx, smp, oc, coll)
+	r.doPagedRange(ctx, smp, oc, coll, 0)
 	if got := oc.cancelled.Load(); got != 2 {
 		t.Errorf("ablation cancelled = %d, want 2", got)
 	}

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"armada"
 	"armada/internal/stats"
 )
 
@@ -275,6 +276,12 @@ type Report struct {
 	// the paper's 2·log₂N bound during the run. The theorem says zero;
 	// always present so CI can assert exactly that.
 	DelayBoundViolations int64 `json:"delay_bound_violations"`
+	// TailAttribution breaks the run's >p99 queries down by classified
+	// cause (fractions sum to 1); SLO is the delay-bound burn-rate
+	// monitor's closing state. Both are absent when the scenario runs
+	// without a slow-query log (Scenario.SlowQueryLog).
+	TailAttribution *armada.TailAttribution `json:"tail_attribution,omitempty"`
+	SLO             *armada.SLOStatus       `json:"slo,omitempty"`
 	// Memory records the built network's heap footprint and build (or
 	// snapshot-load) wall-clock cost.
 	Memory *MemoryReport `json:"memory,omitempty"`

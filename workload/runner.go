@@ -65,6 +65,10 @@ func New(net *armada.Network, sc Scenario) (*Runner, error) {
 		return nil, fmt.Errorf("%w: scenario load control %v, network load control %v",
 			ErrBadScenario, sc.LoadControl, ok)
 	}
+	if ok := net.DiagnosticsEnabled(); ok != (sc.SlowQueryLog > 0) {
+		return nil, fmt.Errorf("%w: scenario slow-query log %d, network diagnostics %v",
+			ErrBadScenario, sc.SlowQueryLog, ok)
+	}
 	return &Runner{net: net, sc: sc}, nil
 }
 
@@ -166,8 +170,12 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 		go func(id int) {
 			defer workers.Done()
 			smp := newSampler(sc, sc.Seed+int64(id)*7919+1)
-			for acquire() {
-				r.execOp(runCtx, smp, pool, coll)
+			for {
+				wait, ok := acquire()
+				if !ok {
+					return
+				}
+				r.execOp(runCtx, smp, pool, coll, wait)
 				if sc.Arrival.Think > 0 {
 					sleepCtx(runCtx, sc.Arrival.Think)
 				}
@@ -228,6 +236,12 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 			FailedActions: end.FailedActions - startLC.FailedActions,
 		}
 	}
+	if ta, ok := r.net.TailAttributionReport(); ok {
+		rep.TailAttribution = &ta
+	}
+	if slo, ok := r.net.SLOStatusReport(); ok {
+		rep.SLO = &slo
+	}
 	rep.Memory = mem
 	rep.Env = &EnvReport{
 		GoMaxProcs: runtime.GOMAXPROCS(0),
@@ -285,26 +299,29 @@ func deliverySkew(start map[string]int64, end []armada.PeerLoad) *SkewReport {
 	return rep
 }
 
-// arrivals returns the acquire function workers call before each op.
-// Closed loop: succeed until the op budget or context runs out. Open loop:
-// block until the Poisson dispatcher admits an arrival.
+// arrivals returns the acquire function workers call before each op; it
+// reports the admitted arrival's dispatch-queue wait (0 in closed loop)
+// alongside whether to continue. Closed loop: succeed until the op budget
+// or context runs out. Open loop: block until the Poisson dispatcher
+// admits an arrival.
 //
 // The open-loop dispatcher keeps an absolute schedule: each arrival time is
 // the previous one plus an exponential gap, independent of how long
 // dispatch or service took, so the offered rate never sags under load.
 // Arrivals queue in a bounded channel; one finding the queue full is shed
 // and counted (collector.dropped), and every admitted arrival's queue wait
-// is sampled (collector.queueWait) — saturation is visible in the report
-// instead of silently backlogging.
-func (r *Runner) arrivals(ctx context.Context, coll *collector) func() bool {
+// is sampled (collector.queueWait) and handed to the op it admits, so the
+// diagnostics layer can tell queued-up operations from slow ones —
+// saturation is visible in the report instead of silently backlogging.
+func (r *Runner) arrivals(ctx context.Context, coll *collector) func() (time.Duration, bool) {
 	sc := &r.sc
 	if sc.Arrival.RatePerSec <= 0 {
 		var issued atomic.Int64
-		return func() bool {
+		return func() (time.Duration, bool) {
 			if ctx.Err() != nil {
-				return false
+				return 0, false
 			}
-			return sc.Ops <= 0 || issued.Add(1) <= int64(sc.Ops)
+			return 0, sc.Ops <= 0 || issued.Add(1) <= int64(sc.Ops)
 		}
 	}
 	ch := make(chan time.Time, sc.Arrival.QueueCap)
@@ -334,17 +351,18 @@ func (r *Runner) arrivals(ctx context.Context, coll *collector) func() bool {
 			}
 		}
 	}()
-	return func() bool {
+	return func() (time.Duration, bool) {
 		select {
 		case at, ok := <-ch:
 			if !ok {
-				return false
+				return 0, false
 			}
-			coll.queueWait.Add(float64(time.Since(at)) / float64(time.Millisecond))
-			return true
+			wait := time.Since(at)
+			coll.queueWait.Add(float64(wait) / float64(time.Millisecond))
+			return wait, true
 		case <-ctx.Done():
 			// Drain nothing further; pending arrivals are dropped.
-			return false
+			return 0, false
 		}
 	}
 }
@@ -365,8 +383,10 @@ func (r *Runner) preload(pool *keyPool) error {
 	return r.net.PublishBatch(pubs)
 }
 
-// execOp draws and executes one operation, recording its metrics.
-func (r *Runner) execOp(ctx context.Context, smp *sampler, pool *keyPool, coll *collector) {
+// execOp draws and executes one operation, recording its metrics. wait is
+// the dispatch-queue wait the arrival paid before this op ran (0 in closed
+// loop); queries carry it to the diagnostics layer.
+func (r *Runner) execOp(ctx context.Context, smp *sampler, pool *keyPool, coll *collector, wait time.Duration) {
 	switch kind := smp.nextOp(); kind {
 	case OpPublish:
 		r.doPublish(smp, pool, &coll.ops[OpPublish])
@@ -398,6 +418,7 @@ func (r *Runner) execOp(ctx context.Context, smp *sampler, pool *keyPool, coll *
 		} else {
 			q = armada.NewLookup(fmt.Sprintf("probe-%d", smp.rng.Int63()))
 		}
+		q.QueueWait = wait
 		res := r.doQuery(ctx, q, &coll.ops[OpLookup], coll)
 		// The looked-up object missing from its ObjectID's result while the
 		// pool still considers it live means crash churn destroyed it — an
@@ -408,15 +429,15 @@ func (r *Runner) execOp(ctx context.Context, smp *sampler, pool *keyPool, coll *
 			coll.ops[OpLookup].misses.Add(1)
 		}
 	case OpRange:
-		r.doQuery(ctx, armada.NewRange(smp.ranges(false)), &coll.ops[OpRange], coll)
+		r.doQuery(ctx, armada.NewRange(smp.ranges(false), armada.WithQueueWait(wait)), &coll.ops[OpRange], coll)
 	case OpMultiRange:
-		r.doQuery(ctx, armada.NewRange(smp.ranges(true)), &coll.ops[OpMultiRange], coll)
+		r.doQuery(ctx, armada.NewRange(smp.ranges(true), armada.WithQueueWait(wait)), &coll.ops[OpMultiRange], coll)
 	case OpTopK:
-		r.doQuery(ctx, armada.NewRange(smp.ranges(false), armada.WithTopK(r.sc.TopK)), &coll.ops[OpTopK], coll)
+		r.doQuery(ctx, armada.NewRange(smp.ranges(false), armada.WithTopK(r.sc.TopK), armada.WithQueueWait(wait)), &coll.ops[OpTopK], coll)
 	case OpFlood:
-		r.doQuery(ctx, armada.NewRange(smp.ranges(false), armada.WithFlood()), &coll.ops[OpFlood], coll)
+		r.doQuery(ctx, armada.NewRange(smp.ranges(false), armada.WithFlood(), armada.WithQueueWait(wait)), &coll.ops[OpFlood], coll)
 	case OpRangePaged:
-		r.doPagedRange(ctx, smp, &coll.ops[OpRangePaged], coll)
+		r.doPagedRange(ctx, smp, &coll.ops[OpRangePaged], coll, wait)
 	}
 }
 
@@ -431,21 +452,29 @@ func (r *Runner) execOp(ctx context.Context, smp *sampler, pool *keyPool, coll *
 // samples. A walk cut short by run shutdown is counted as a cancelled
 // operation, not a sample — partial walks would skew the page and match
 // quantiles low.
-func (r *Runner) doPagedRange(ctx context.Context, smp *sampler, oc *opCollector, coll *collector) {
+func (r *Runner) doPagedRange(ctx context.Context, smp *sampler, oc *opCollector, coll *collector, wait time.Duration) {
 	ranges := smp.ranges(false)
 	start := time.Now()
 
+	// Only the walk's first page actually paid the dispatch-queue wait;
+	// later pages run back to back, so the stamp stays on page one.
 	var fetch func(offset string) (*armada.Result, error)
 	if r.sc.PagedNoSession {
+		first := true
 		fetch = func(offset string) (*armada.Result, error) {
 			opts := []armada.QueryOption{armada.WithLimit(r.sc.PageLimit)}
 			if offset != "" {
 				opts = append(opts, armada.WithOffsetID(offset))
 			}
+			if first {
+				first = false
+				opts = append(opts, armada.WithQueueWait(wait))
+			}
 			return r.net.Do(ctx, armada.NewRange(ranges, opts...))
 		}
 	} else {
-		sess, err := r.net.OpenSession(armada.NewRange(ranges, armada.WithLimit(r.sc.PageLimit)))
+		sess, err := r.net.OpenSession(armada.NewRange(ranges,
+			armada.WithLimit(r.sc.PageLimit), armada.WithQueueWait(wait)))
 		if err != nil {
 			oc.record(start, err)
 			return

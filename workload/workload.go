@@ -267,6 +267,16 @@ type Scenario struct {
 	// (armada.WithFlightRecorder); armada-load dumps it as Chrome
 	// trace-event JSON via -trace-out. Default 0 — no recorder.
 	FlightRecorder int `json:"flight_recorder,omitempty"`
+	// SlowQueryLog, when positive, builds the network with the
+	// query-diagnostics layer (armada.WithDiagnostics): a slow-query log
+	// of that record capacity, per-query cause classification, the
+	// report's tail_attribution and slo blocks, and armada-load's
+	// /debug/armada introspection endpoints and -slow-out dump. Default
+	// 0 — no diagnostics.
+	SlowQueryLog int `json:"slow_query_log,omitempty"`
+	// SlowThreshold fixes the slow-query threshold (0 = adaptive: an EWMA
+	// of the observed p99 query duration). Requires SlowQueryLog.
+	SlowThreshold time.Duration `json:"slow_threshold,omitempty"`
 	// HotDrift, when positive, makes the KeyHotspot hot interval drift:
 	// its low edge sweeps the whole key space once per HotDrift period
 	// (wrapping), so publishes and queries chase a moving hotspot instead
@@ -374,6 +384,12 @@ func (s Scenario) NetworkOptions() []armada.Option {
 	if s.FlightRecorder > 0 {
 		opts = append(opts, armada.WithFlightRecorder(s.FlightRecorder))
 	}
+	if s.SlowQueryLog > 0 {
+		opts = append(opts, armada.WithDiagnostics(armada.DiagnosticsConfig{
+			SlowLogCapacity: s.SlowQueryLog,
+			SlowThreshold:   s.SlowThreshold,
+		}))
+	}
 	return opts
 }
 
@@ -458,6 +474,15 @@ func (s Scenario) validate() error {
 	}
 	if s.FlightRecorder < 0 {
 		return bad("negative flight recorder capacity %d", s.FlightRecorder)
+	}
+	if s.SlowQueryLog < 0 {
+		return bad("negative slow-query log capacity %d", s.SlowQueryLog)
+	}
+	if s.SlowThreshold < 0 {
+		return bad("negative slow-query threshold %v", s.SlowThreshold)
+	}
+	if s.SlowThreshold > 0 && s.SlowQueryLog == 0 {
+		return bad("slow threshold %v set without a slow-query log", s.SlowThreshold)
 	}
 	if s.HotDrift < 0 {
 		return bad("negative hot drift %v", s.HotDrift)
